@@ -1,0 +1,23 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one of the paper's evaluation artifacts
+(Table 1 rows, Figure 1, or a theorem-derived figure), prints the
+rows/series it measured, and asserts the paper's *shape* claim (who
+wins, what the growth looks like).  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+to see the tables.  Timing itself is secondary — the simulator's
+synchronous rounds are the paper's metric — so expensive pipelines are
+benchmarked with ``pedantic`` single runs.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Benchmark ``fn`` with a single measured execution and return its
+    result (the paper's metric is rounds, not wall-clock; one run is
+    enough for timing context)."""
+
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,1 @@
+"""Pytest configuration for the benchmark suite (see _helpers.py)."""

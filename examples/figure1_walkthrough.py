@@ -1,0 +1,93 @@
+"""Walkthrough of the paper's Figure 1: counting augmenting paths by
+message passing (Claims B.5 and B.6).
+
+The CONGEST (1+ε) matching algorithm cannot enumerate augmenting paths
+(there can be Δ^ℓ of them), so it *counts* them with two BFS-style
+sweeps: a forward traversal that leaves, at every free B-node, the
+number of shortest augmenting paths ending there, and a backward
+traversal that splits those numbers proportionally so every node learns
+how many paths run through it.  This script builds a Figure-1-style
+instance, runs both traversals, prints the numbers next to a brute-force
+enumeration, and then shows the attenuated version (path *probabilities*
+instead of counts) that drives the real algorithm.
+
+Run:  python examples/figure1_walkthrough.py
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.analysis import render_table
+from repro.core import BipartiteAugmentingPhase, enumerate_augmenting_paths
+from repro.matching import bipartite_sides
+
+
+def build_instance():
+    g = nx.Graph()
+    for i in range(5):
+        g.add_node(f"a{i}", side="A")
+        g.add_node(f"b{i}", side="B")
+    g.add_edges_from([
+        ("a0", "b0"), ("a0", "b1"), ("a4", "b1"), ("a4", "b2"),
+        ("a1", "b0"), ("a2", "b1"), ("a3", "b2"),
+        ("a1", "b3"), ("a1", "b4"), ("a2", "b3"), ("a3", "b4"),
+    ])
+    matching = {frozenset(("a1", "b0")), frozenset(("a2", "b1")),
+                frozenset(("a3", "b2"))}
+    return g, matching
+
+
+def main() -> None:
+    graph, matching = build_instance()
+    a_side, b_side = bipartite_sides(graph)
+    print("bipartite instance: free A = {a0, a4}, free B = {b3, b4}, "
+          "matched pairs (a1,b0) (a2,b1) (a3,b2)")
+
+    paths = enumerate_augmenting_paths(graph, matching, 3)
+    print(f"\nbrute-force: {len(paths)} augmenting paths of length 3:")
+    for p in paths:
+        print("  " + " - ".join(p))
+
+    phase = BipartiteAugmentingPhase(graph, a_side, b_side, matching,
+                                     d=3, eps=0.5, seed=0)
+
+    # --- Claim B.5/B.6 with α ≡ 1: exact counts -----------------------
+    counts, contrib, raw = phase._forward(phase.scope, use_alpha=False)
+    through = phase._backward(counts, contrib, raw)
+    rows = [
+        {"node": v,
+         "ends_here (fwd, B.5)": counts.get(v, 0.0),
+         "runs_through (bwd, B.6)": through.get(v, 0.0)}
+        for v in sorted(graph.nodes)
+    ]
+    print()
+    print(render_table(rows, title="traversal with attenuation 1 "
+                                   "(= path counts, cf. Figure 1)"))
+
+    # --- the attenuated version the algorithm actually runs -----------
+    mass, contrib, raw = phase._forward(phase.scope)
+    through_mass = phase._backward(mass, contrib, raw)
+    rows = [
+        {"node": v,
+         "path_probability_mass": through_mass.get(v, 0.0),
+         "attenuation": phase.alpha.get(v, 1.0)}
+        for v in sorted(graph.nodes)
+    ]
+    print()
+    print(render_table(rows, title="attenuated traversal (marking "
+                                   "probabilities, α0 = 1/K on free "
+                                   "A-nodes)"))
+
+    # Sanity: counts match brute force.
+    per_node = {}
+    for p in paths:
+        for v in p:
+            per_node[v] = per_node.get(v, 0) + 1
+    for v, count in per_node.items():
+        assert abs(through.get(v, 0) - count) < 1e-9
+    print("\nforward/backward counts match brute-force enumeration ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Spectrum-sharing pairings via distributed weighted matching.
+
+Scenario: radios in a mesh network can pair up to share a wideband
+channel; the value of pairing two radios is their measured link quality
+(a few links are exceptionally good — a bimodal weight profile).  The
+controller-free way to pick pairings is distributed maximum weight
+matching on the link graph.
+
+This is the workload where *weight-oblivious* maximal matching (the
+classical O(log n) baseline) does badly — it happily matches junk links
+and blocks the good ones — while the paper's local-ratio 2-approximation
+and the (2+ε) algorithm keep their guarantees.
+
+Run:  python examples/spectrum_pairing.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import approximation_ratio
+from repro.core import fast_matching_weighted_2eps, matching_local_ratio
+from repro.graphs import assign_edge_weights, gnp_graph
+from repro.matching import (
+    israeli_itai_matching,
+    matching_weight,
+    optimum_weight,
+)
+
+
+def main() -> None:
+    mesh = assign_edge_weights(
+        gnp_graph(40, 0.12, seed=21), 500, scheme="bimodal", seed=22,
+    )
+    print(f"mesh: {mesh.number_of_nodes()} radios, "
+          f"{mesh.number_of_edges()} candidate links "
+          f"(weights 1 or 500)")
+
+    optimum = optimum_weight(mesh)
+    print(f"\noracle (Edmonds): total link quality {optimum}")
+
+    local_ratio = matching_local_ratio(mesh, method="layers", seed=1)
+    print(f"local-ratio 2-approx (Thm 2.10): quality "
+          f"{local_ratio.weight} "
+          f"(ratio {approximation_ratio(optimum, local_ratio.weight):.2f})"
+          f" in {local_ratio.rounds} rounds")
+
+    fast = fast_matching_weighted_2eps(mesh, eps=0.5, seed=2)
+    print(f"fast (2+ε)-approx (Appendix B.1): quality {fast.weight} "
+          f"(ratio {approximation_ratio(optimum, fast.weight):.2f}) "
+          f"in {fast.rounds} rounds")
+
+    oblivious, rounds = israeli_itai_matching(mesh, seed=3)
+    oblivious_weight = matching_weight(mesh, oblivious)
+    print(f"weight-oblivious maximal matching: quality "
+          f"{oblivious_weight} "
+          f"(ratio {approximation_ratio(optimum, oblivious_weight):.2f}) "
+          f"in {rounds} rounds")
+
+    assert 2 * local_ratio.weight >= optimum
+    assert 2.5 * fast.weight >= optimum
+    if oblivious_weight < local_ratio.weight:
+        gain = local_ratio.weight / max(1, oblivious_weight)
+        print(f"\nweight-aware pairing carries {gain:.1f}x the quality "
+              f"of the weight-oblivious schedule")
+
+
+if __name__ == "__main__":
+    main()

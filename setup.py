@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Metadata lives in pyproject.toml (PEP 621); this file exists so that
+``pip install -e .`` works in offline environments where PEP 517 build
+isolation cannot download its build dependencies.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""repro — reproduction of Bar-Yehuda, Censor-Hillel, Ghaffari, Schwartzman:
+*Distributed Approximation of Maximum Independent Set and Maximum Matching*
+(PODC 2017, arXiv:1708.00276).
+
+Subpackages
+-----------
+``repro.congest``   — synchronous LOCAL/CONGEST message-passing simulator.
+``repro.graphs``    — workload generators, weights, validators.
+``repro.mis``       — MIS/coloring substrates (Luby, Ghaffari, Linial, …).
+``repro.matching``  — matching baselines and exact oracles.
+``repro.core``      — the paper's algorithms (Algorithms 1–3, Theorems
+                      2.8–2.10, 3.1–3.2, B.4, B.12, Lemmas B.13–B.14).
+``repro.analysis``  — experiment statistics, tables and series builders.
+
+Quickstart::
+
+    import repro
+    from repro.graphs import gnp_graph, assign_node_weights
+
+    g = assign_node_weights(gnp_graph(100, 0.05, seed=1), 64, seed=2)
+    result = repro.core.maxis_local_ratio_layers(g, seed=3)
+    print(len(result.independent_set), result.rounds)
+"""
+
+from . import analysis, congest, core, graphs, matching, mis
+from .errors import (
+    AlgorithmContractViolation,
+    BandwidthViolation,
+    InvalidInstance,
+    ReproError,
+    RoundLimitExceeded,
+    SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlgorithmContractViolation",
+    "BandwidthViolation",
+    "InvalidInstance",
+    "ReproError",
+    "RoundLimitExceeded",
+    "SimulationError",
+    "analysis",
+    "congest",
+    "core",
+    "graphs",
+    "matching",
+    "mis",
+]

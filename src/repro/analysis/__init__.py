@@ -1,0 +1,27 @@
+"""Experiment statistics and rendering helpers."""
+
+from .export import read_rows, rows_to_csv, rows_to_json, write_rows
+from .stats import (
+    Summary,
+    approximation_ratio,
+    empirical_rate,
+    growth_exponent,
+    pearson,
+    summarize,
+)
+from .tables import render_series, render_table
+
+__all__ = [
+    "Summary",
+    "approximation_ratio",
+    "empirical_rate",
+    "growth_exponent",
+    "pearson",
+    "read_rows",
+    "render_series",
+    "render_table",
+    "rows_to_csv",
+    "rows_to_json",
+    "summarize",
+    "write_rows",
+]

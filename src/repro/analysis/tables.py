@@ -1,0 +1,59 @@
+"""Table/series rendering for the benchmark harness.
+
+Benchmarks print the same row/series structure the paper reports
+(Table 1's algorithm-vs-rounds rows, plus one measured series per
+theorem-derived figure).  Rendering is plain ASCII so ``pytest -s`` and
+the EXPERIMENTS.md snippets stay diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def render_table(rows: List[Dict[str, object]],
+                 columns: Sequence[str] | None = None,
+                 title: str | None = None) -> str:
+    """Render a list of dict rows as an aligned ASCII table."""
+
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(c) for c in columns]
+    body = [[_fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body))
+        for i in range(len(header))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def render_series(xs: Sequence[float], ys: Sequence[float],
+                  x_label: str = "x", y_label: str = "y",
+                  title: str | None = None, width: int = 40) -> str:
+    """Render an (x, y) series with a proportional ASCII bar per row."""
+
+    lines = []
+    if title:
+        lines.append(title)
+    top = max((y for y in ys), default=0) or 1
+    for x, y in zip(xs, ys):
+        bar = "#" * max(0, round(width * y / top))
+        lines.append(f"{x_label}={_fmt(x):>8}  {y_label}={_fmt(y):>10}  {bar}")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,68 @@
+"""Synchronous LOCAL/CONGEST simulation substrate.
+
+Public API:
+
+* :class:`SynchronousNetwork` — round-based message-passing simulator,
+* :class:`NodeProgram` / :class:`NodeContext` — per-node algorithm API,
+* :class:`RoundLedger` — round accounting for phase-composed algorithms,
+* :func:`line_graph` / :func:`run_on_line_graph` / :class:`CongestionAudit`
+  — Section 2.4 line-graph execution and congestion measurement.
+"""
+
+from .ledger import RoundLedger
+from .linegraph import (
+    CongestionAudit,
+    canonical_edge,
+    line_graph,
+    primary_endpoint,
+    run_on_line_graph,
+    secondary_endpoint,
+    shared_endpoint,
+)
+from .message import Envelope, Payload, payload_bits, word_bits
+from .network import (
+    CONGEST,
+    LOCAL,
+    NetworkMetrics,
+    RunResult,
+    SynchronousNetwork,
+)
+from .node import IdleProgram, NodeContext, NodeProgram
+from .primitives import (
+    BfsTreeProgram,
+    FloodProgram,
+    bfs_tree,
+    convergecast_sum,
+    flood_distances,
+)
+from .recorder import ExecutionRecorder, RoundRecord
+
+__all__ = [
+    "BfsTreeProgram",
+    "CONGEST",
+    "FloodProgram",
+    "LOCAL",
+    "CongestionAudit",
+    "ExecutionRecorder",
+    "RoundRecord",
+    "bfs_tree",
+    "convergecast_sum",
+    "flood_distances",
+    "Envelope",
+    "IdleProgram",
+    "NetworkMetrics",
+    "NodeContext",
+    "NodeProgram",
+    "Payload",
+    "RoundLedger",
+    "RunResult",
+    "SynchronousNetwork",
+    "canonical_edge",
+    "line_graph",
+    "payload_bits",
+    "primary_endpoint",
+    "run_on_line_graph",
+    "secondary_endpoint",
+    "shared_endpoint",
+    "word_bits",
+]

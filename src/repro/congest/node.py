@@ -1,0 +1,106 @@
+"""Node-program abstraction for the synchronous message-passing simulator.
+
+An algorithm is written once, from the point of view of a single node, by
+subclassing :class:`NodeProgram`.  The simulator instantiates one program
+per node and drives all of them in lockstep rounds:
+
+* :meth:`NodeProgram.on_start` runs before round 0; messages sent here are
+  delivered in round 0.
+* :meth:`NodeProgram.on_round` runs once per round with the node's inbox
+  available via the context.
+* A node leaves the protocol by calling :meth:`NodeContext.halt` with its
+  output value.  Messages sent in the halting round are still delivered.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Dict, Hashable, Tuple
+
+from .message import Payload, Word
+
+
+class NodeContext:
+    """Per-node view of the network handed to a :class:`NodeProgram`.
+
+    The context is persistent across rounds; the simulator refreshes its
+    ``round`` and ``inbox`` fields before each invocation.
+    """
+
+    __slots__ = ("node", "neighbors", "rng", "round", "inbox",
+                 "_outbox", "_halted", "output", "n", "max_degree")
+
+    def __init__(self, node: Hashable, neighbors: Tuple[Hashable, ...],
+                 rng: random.Random, n: int, max_degree: int):
+        self.node = node
+        self.neighbors = neighbors
+        self.rng = rng
+        self.n = n
+        self.max_degree = max_degree
+        self.round = -1
+        self.inbox: Dict[Hashable, Payload] = {}
+        self._outbox: Dict[Hashable, Payload] = {}
+        self._halted = False
+        self.output = None
+
+    @property
+    def degree(self) -> int:
+        return len(self.neighbors)
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    def send(self, dst: Hashable, *words: Word) -> None:
+        """Queue one message for neighbor ``dst`` (overwrites earlier sends).
+
+        CONGEST permits a single message per edge per direction per round,
+        so sending twice to the same neighbor in one round replaces the
+        previous payload rather than queueing a second message.
+        """
+
+        if dst not in self._outbox and dst not in self.neighbors:
+            raise ValueError(f"{self.node} cannot send to non-neighbor {dst}")
+        self._outbox[dst] = tuple(words)
+
+    def broadcast(self, *words: Word) -> None:
+        """Send the same payload to every neighbor."""
+
+        payload = tuple(words)
+        for neighbor in self.neighbors:
+            self._outbox[neighbor] = payload
+
+    def halt(self, output=None) -> None:
+        """Stop participating in the protocol and record ``output``."""
+
+        self._halted = True
+        self.output = output
+
+    def drain_outbox(self) -> Dict[Hashable, Payload]:
+        outbox, self._outbox = self._outbox, {}
+        return outbox
+
+
+class NodeProgram(abc.ABC):
+    """Behaviour of one node in a synchronous distributed algorithm."""
+
+    def on_start(self, ctx: NodeContext) -> None:
+        """Hook executed before the first round (round index -1)."""
+
+    @abc.abstractmethod
+    def on_round(self, ctx: NodeContext) -> None:
+        """Hook executed once per round with ``ctx.inbox`` populated."""
+
+
+class IdleProgram(NodeProgram):
+    """A program that halts immediately; useful as a placeholder."""
+
+    def __init__(self, output=None):
+        self._output = output
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.halt(self._output)
+
+    def on_round(self, ctx: NodeContext) -> None:  # pragma: no cover
+        ctx.halt(self._output)

@@ -1,0 +1,159 @@
+"""Classic CONGEST primitives: flooding, BFS layering, convergecast.
+
+These are the textbook building blocks [Pel00] that the paper's
+algorithms implicitly assume (the Appendix B.3 traversals are BFS-style
+sweeps; the aggregation mechanism of Theorem 2.8 is a one-hop
+convergecast).  They are exposed as reusable node programs with the same
+simulator API as everything else, and double as validation workloads
+for the simulator itself: BFS distances are checked against networkx
+shortest paths in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Tuple
+
+import networkx as nx
+
+from ..errors import SimulationError
+from .network import SynchronousNetwork
+from .node import NodeContext, NodeProgram
+
+
+class FloodProgram(NodeProgram):
+    """Flood a token from a source; each node halts with its BFS depth.
+
+    One round per BFS layer: a node that first hears the token at round
+    r is at distance r+1; the source is at distance 0.  Nodes forward
+    the token once and halt one round later (so the message is sent
+    before the program stops participating).
+    """
+
+    def __init__(self, source: Hashable):
+        self.source = source
+
+    def on_start(self, ctx: NodeContext) -> None:
+        self.distance: Optional[int] = None
+        if ctx.node == self.source:
+            self.distance = 0
+            ctx.broadcast("flood")
+
+    def on_round(self, ctx: NodeContext) -> None:
+        if self.distance is not None:
+            ctx.halt(self.distance)
+            return
+        if any(payload and payload[0] == "flood"
+               for payload in ctx.inbox.values()):
+            self.distance = ctx.round + 1
+            ctx.broadcast("flood")
+
+
+def flood_distances(
+    graph: nx.Graph,
+    source: Hashable,
+    network: Optional[SynchronousNetwork] = None,
+    max_rounds: int = 10_000,
+) -> Tuple[Dict[Hashable, int], int]:
+    """BFS distances from ``source`` by flooding; unreachable nodes get
+    ``None``.  Returns ``(distances, rounds)``."""
+
+    if source not in graph:
+        raise SimulationError(f"source {source!r} is not in the graph")
+    if network is None:
+        network = SynchronousNetwork(graph, seed=0)
+    result = network.run(lambda node: FloodProgram(source),
+                         max_rounds=max_rounds, label="flood",
+                         quiescence_halts=True)
+    return dict(result.outputs), result.rounds
+
+
+class BfsTreeProgram(NodeProgram):
+    """Flooding that also records the parent (first forwarder heard)."""
+
+    def __init__(self, source: Hashable):
+        self.source = source
+
+    def on_start(self, ctx: NodeContext) -> None:
+        self.parent: Optional[Hashable] = None
+        self.reached = ctx.node == self.source
+        if self.reached:
+            ctx.broadcast("tree")
+
+    def on_round(self, ctx: NodeContext) -> None:
+        if self.reached:
+            ctx.halt(self.parent)
+            return
+        senders = sorted(
+            (src for src, payload in ctx.inbox.items()
+             if payload and payload[0] == "tree"),
+            key=repr,
+        )
+        if senders:
+            self.parent = senders[0]
+            self.reached = True
+            ctx.broadcast("tree")
+
+
+def bfs_tree(
+    graph: nx.Graph,
+    source: Hashable,
+    network: Optional[SynchronousNetwork] = None,
+    max_rounds: int = 10_000,
+) -> Dict[Hashable, Hashable]:
+    """Parent pointers of a BFS tree rooted at ``source`` (root: None)."""
+
+    if source not in graph:
+        raise SimulationError(f"source {source!r} is not in the graph")
+    if network is None:
+        network = SynchronousNetwork(graph, seed=0)
+    result = network.run(lambda node: BfsTreeProgram(source),
+                         max_rounds=max_rounds, label="bfs-tree",
+                         quiescence_halts=True)
+    return dict(result.outputs)
+
+
+def convergecast_sum(
+    graph: nx.Graph,
+    parents: Dict[Hashable, Optional[Hashable]],
+    values: Dict[Hashable, int],
+    root: Hashable,
+) -> Tuple[int, int]:
+    """Sum ``values`` up a tree toward ``root``; returns (sum, rounds).
+
+    The classic convergecast: leaves send first; an internal node sends
+    once all its children reported.  The round count is the tree height.
+    This runs as a deterministic sweep over the explicit tree (the
+    message-passing version is the same wave bottom-up).
+    """
+
+    children: Dict[Hashable, list] = {v: [] for v in parents}
+    for v, parent in parents.items():
+        if parent is not None:
+            children.setdefault(parent, []).append(v)
+
+    totals = dict(values)
+    depth: Dict[Hashable, int] = {}
+
+    def compute_depth(v: Hashable) -> int:
+        if v in depth:
+            return depth[v]
+        kids = children.get(v, [])
+        depth[v] = 0 if not kids else 1 + max(
+            compute_depth(c) for c in kids
+        )
+        return depth[v]
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 4 * len(parents) + 100))
+    try:
+        height = compute_depth(root)
+        order = sorted(parents, key=compute_depth)
+    finally:
+        sys.setrecursionlimit(old_limit)
+    for v in order:
+        parent = parents.get(v)
+        if parent is not None:
+            totals[parent] = totals.get(parent, 0) + totals[v]
+    return totals[root], height

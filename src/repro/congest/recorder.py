@@ -1,0 +1,92 @@
+"""Execution recording: round-by-round observability for protocol runs.
+
+Attach an :class:`ExecutionRecorder` to a network to capture, per round,
+how many nodes were still participating, how many messages were
+delivered, and how many were sent.  This is the debugging facility used
+when developing the reactive protocols in this library (e.g. to see the
+Algorithm 2 addition-stage cascade draining), and powers the progress
+tables some examples print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .message import Envelope
+from .network import SynchronousNetwork
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """One round's activity snapshot."""
+
+    round_index: int
+    active_nodes: int
+    delivered: int
+    sent: int
+    bits_sent: int
+
+
+@dataclass
+class ExecutionRecorder:
+    """Collects :class:`RoundRecord` entries from an attached network.
+
+    Attaching replaces the network's ``trace`` and ``on_round_end``
+    hooks; detach (or attach a fresh recorder) before installing other
+    hooks like the congestion auditor.
+    """
+
+    records: List[RoundRecord] = field(default_factory=list)
+    _pending_sent: int = 0
+    _pending_bits: int = 0
+
+    def attach(self, network: SynchronousNetwork) -> "ExecutionRecorder":
+        def trace(round_index: int, envelope: Envelope) -> None:
+            self._pending_sent += 1
+            self._pending_bits += envelope.bits
+
+        def on_round_end(round_index: int, active: int,
+                         delivered: int) -> None:
+            self.records.append(RoundRecord(
+                round_index=round_index,
+                active_nodes=active,
+                delivered=delivered,
+                sent=self._pending_sent,
+                bits_sent=self._pending_bits,
+            ))
+            self._pending_sent = 0
+            self._pending_bits = 0
+
+        network.trace = trace
+        network.on_round_end = on_round_end
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def rounds(self) -> int:
+        return len(self.records)
+
+    def active_series(self) -> List[int]:
+        """Participating-node count per round (must be non-increasing
+        for halting-only protocols — asserted in tests)."""
+
+        return [r.active_nodes for r in self.records]
+
+    def message_series(self) -> List[int]:
+        return [r.sent for r in self.records]
+
+    def busiest_round(self) -> RoundRecord:
+        if not self.records:
+            raise ValueError("no rounds recorded")
+        return max(self.records, key=lambda r: r.sent)
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "rounds": self.rounds,
+            "messages": sum(r.sent for r in self.records),
+            "bits": sum(r.bits_sent for r in self.records),
+            "peak_round_messages": max(
+                (r.sent for r in self.records), default=0
+            ),
+        }

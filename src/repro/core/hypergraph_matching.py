@@ -1,0 +1,195 @@
+"""Appendix B.2 — nearly-maximal matching in low-rank hypergraphs.
+
+Augmenting paths of length ℓ are modeled as hyperedges of rank d = ℓ+1
+over the graph's nodes; a *matching* of hyperedges (pairwise disjoint)
+is a set of vertex-disjoint paths.  The algorithm is the dynamic-
+probability scheme of Section 3.1 lifted to hyperedges, with one new
+ingredient: **good-round deactivation**.  A round is *good* for node v
+when the light hyperedges through v carry probability mass at least
+``1/(2dK²)``; in a good round v is removed with probability Θ(1/(dK²)),
+so a node surviving Θ(dK² log 1/δ) good rounds is deactivated manually —
+an event of probability ≤ δ (Lemma B.10's counting).  Lemma B.3 then
+gives the *deterministic* guarantee that after O(d² log Δ / log log Δ)
+rounds no hyperedge has all nodes active.
+
+The conflict structure is virtual (the paper's LOCAL algorithm simulates
+each of its rounds in O(ℓ) base-graph rounds; the caller charges that via
+its ledger), so this module runs the iteration loop centrally but with
+per-iteration semantics identical to the distributed protocol.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set
+
+from ..errors import AlgorithmContractViolation
+from ..utils import stable_rng
+
+
+@dataclass
+class HypergraphMatchingResult:
+    """Outcome of the nearly-maximal hypergraph matching."""
+
+    matched_edges: List[int]
+    deactivated: Set[Hashable]
+    iterations: int
+    #: True when the loop ended because no all-active hyperedge remained
+    #: (the Lemma B.3 condition), False when the budget ran out first.
+    drained: bool = True
+
+
+def good_round_cap(d: int, k: float, failure_delta: float,
+                   c: float = 3.0) -> int:
+    """The Θ(d·K²·log 1/δ) good-round budget before manual deactivation."""
+
+    return max(1, math.ceil(c * d * (k ** 2) * math.log(1.0 / failure_delta)))
+
+
+def lemma_b3_budget(d: int, k: float, max_degree: int,
+                    failure_delta: float, beta: float = 3.0) -> int:
+    """Lemma B.3's O(d²K² log 1/δ + d² log_K Δ) iteration budget."""
+
+    delta = max(2, max_degree)
+    return max(
+        1,
+        math.ceil(
+            beta * (d * d * (k ** 2) * math.log(1.0 / failure_delta)
+                    + d * d * math.log(delta) / math.log(k))
+        ),
+    )
+
+
+def nearly_maximal_hypergraph_matching(
+    hyperedges: Sequence[FrozenSet[Hashable]],
+    rank: int,
+    k: float = 2.0,
+    failure_delta: float = 0.05,
+    seed: int = 0,
+    max_iterations: Optional[int] = None,
+    good_cap: Optional[int] = None,
+) -> HypergraphMatchingResult:
+    """Find a matching of hyperedges, maximal among non-deactivated nodes.
+
+    Parameters mirror the paper: rank ``d``, update factor ``K``, failure
+    probability ``δ``.  Returns the matched hyperedge indices, the set of
+    manually deactivated nodes, and the iterations used.  Invariants
+    validated on exit: matched hyperedges are pairwise disjoint, and no
+    remaining hyperedge has all nodes active (when ``drained``).
+    """
+
+    if rank < 1:
+        raise AlgorithmContractViolation(f"rank must be >= 1, got {rank}")
+    if k < 2:
+        raise AlgorithmContractViolation(f"K must be >= 2, got {k}")
+    rng = stable_rng(seed, "hypergraph-nmm")
+    edges = [frozenset(e) for e in hyperedges]
+    for e in edges:
+        if not e or len(e) > rank:
+            raise AlgorithmContractViolation(
+                f"hyperedge {sorted(map(repr, e))} exceeds rank {rank}"
+            )
+
+    # Vertex -> incident edge indices, and the intersection structure.
+    incident: Dict[Hashable, List[int]] = {}
+    for index, e in enumerate(edges):
+        for v in e:
+            incident.setdefault(v, []).append(index)
+    neighbors: List[Set[int]] = [set() for _ in edges]
+    for indices in incident.values():
+        for i, a in enumerate(indices):
+            for b in indices[i + 1:]:
+                neighbors[a].add(b)
+                neighbors[b].add(a)
+
+    max_deg = max((len(nbrs) + 1 for nbrs in neighbors), default=2)
+    if good_cap is None:
+        good_cap = good_round_cap(rank, k, failure_delta)
+    if max_iterations is None:
+        max_iterations = lemma_b3_budget(rank, k, max_deg, failure_delta)
+
+    p = {i: 1.0 / k for i in range(len(edges))}
+    alive = set(range(len(edges)))
+    active_nodes = set(incident)
+    good_rounds: Dict[Hashable, int] = {v: 0 for v in active_nodes}
+    matched: List[int] = []
+    deactivated: Set[Hashable] = set()
+    threshold = 1.0 / (2.0 * rank * k * k)
+
+    def retire_edges_of(node: Hashable) -> None:
+        for index in incident.get(node, ()):
+            alive.discard(index)
+
+    iterations = 0
+    drained = False
+    for iteration in range(max_iterations):
+        if not alive:
+            drained = True
+            break
+        iterations = iteration + 1
+
+        # Closed-neighborhood probability mass S(e) = Σ_{e' ∩ e ≠ ∅} p(e').
+        mass = {
+            i: p[i] + sum(p[j] for j in neighbors[i] if j in alive)
+            for i in alive
+        }
+        light = {i for i in alive if mass[i] < 2.0}
+
+        # Good-round accounting (Lemma B.10) and manual deactivation.
+        for v in list(active_nodes):
+            light_mass = sum(
+                p[i] for i in incident.get(v, ()) if i in light
+            )
+            if light_mass >= threshold:
+                good_rounds[v] += 1
+                if good_rounds[v] > good_cap:
+                    deactivated.add(v)
+                    active_nodes.discard(v)
+                    retire_edges_of(v)
+
+        # Marking: an edge joins when marked and no intersecting edge is.
+        marked = {i for i in alive if rng.random() < p[i]}
+        joined = [
+            i for i in sorted(marked)
+            if not any(j in marked for j in neighbors[i] if j in alive)
+        ]
+        for i in joined:
+            if i not in alive:
+                continue  # a disjoint earlier join cannot retire i, but
+                # a shared-node join could have; guard anyway.
+            matched.append(i)
+            for v in edges[i]:
+                active_nodes.discard(v)
+                retire_edges_of(v)
+
+        # Probability updates on survivors.
+        for i in alive:
+            if mass[i] >= 2.0:
+                p[i] = p[i] / k
+            else:
+                p[i] = min(k * p[i], 1.0 / k)
+    else:
+        drained = not alive
+
+    # Validation: matched edges pairwise disjoint.
+    seen: Set[Hashable] = set()
+    for i in matched:
+        overlap = seen & edges[i]
+        if overlap:
+            raise AlgorithmContractViolation(
+                f"hyperedge matching overlaps at {sorted(map(repr, overlap))}"
+            )
+        seen |= edges[i]
+    if drained:
+        for i, e in enumerate(edges):
+            if i in alive and e <= (active_nodes - seen):
+                raise AlgorithmContractViolation(
+                    "drained run left an all-active hyperedge"
+                )
+    return HypergraphMatchingResult(
+        matched_edges=matched,
+        deactivated=deactivated,
+        iterations=iterations,
+        drained=drained,
+    )

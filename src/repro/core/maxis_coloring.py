@@ -1,0 +1,161 @@
+"""Algorithm 3 — deterministic coloring-based Δ-approximation for MaxIS.
+
+Instead of weight layers, nodes are prioritized by a proper (Δ+1)-coloring:
+a node whose color is a *local maximum* among its still-active neighbors
+performs the closed-neighborhood local-ratio step (sends ``reduce`` and
+becomes a candidate).  Because the coloring is proper, two adjacent nodes
+can never both be local maxima, so the reducing set is always independent
+— this is the whole trick that makes the selection deterministic.
+
+After one sweep the top color class is entirely candidates or removed;
+after at most Δ+1 sweeps the removal stage is done (O(Δ) rounds).  The
+addition stage is the same candidate/wait-set stack discipline as
+Algorithm 2.
+
+The (Δ+1)-coloring itself comes from :mod:`repro.mis.coloring`; the paper
+charges O(Δ + log* n) rounds for it citing [BEK14, Bar15] — see DESIGN.md
+§4 for the substitution we make there.  The result reports the coloring
+rounds (measured and accounted) separately from the local-ratio rounds.
+
+Everything in this algorithm is deterministic: running it twice yields
+bit-identical outputs, which the test suite asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Set
+
+import networkx as nx
+
+from ..congest import NodeContext, NodeProgram, SynchronousNetwork
+from ..errors import InvalidInstance
+from ..graphs import check_independent_set, node_weight
+from ..mis.coloring import ColoringResult, delta_plus_one_coloring
+
+IN_IS = "InIS"
+NOT_IN_IS = "NotInIS"
+
+
+class MaxISColoringProgram(NodeProgram):
+    """One node of Algorithm 3.
+
+    One round per iteration: digest ``reduce``/``removed``/``join``,
+    retire on non-positive weight, then — if the node's color beats every
+    believed-active neighbor's color — perform the local-ratio step.
+    Color comparisons need no fresh messages because colors are static
+    and the believed-active set only ever shrinks (stale beliefs merely
+    delay eligibility by one round, never break independence).
+    """
+
+    ACTIVE = "active"
+    CANDIDATE = "candidate"
+
+    def __init__(self, weight: int, color: int,
+                 neighbor_colors: Dict[Hashable, int]):
+        if weight <= 0:
+            raise InvalidInstance(
+                f"Algorithm 3 needs positive weights, got {weight}"
+            )
+        self.weight = int(weight)
+        self.color = color
+        self.neighbor_colors = dict(neighbor_colors)
+
+    def on_start(self, ctx: NodeContext) -> None:
+        self.status = self.ACTIVE
+        self.active_neighbors: Set[Hashable] = set(ctx.neighbors)
+        self.wait_set: Set[Hashable] = set()
+        self._act(ctx)
+
+    def on_round(self, ctx: NodeContext) -> None:
+        for src, payload in ctx.inbox.items():
+            kind = payload[0] if payload else None
+            if kind == "reduce":
+                self.weight -= payload[1]
+                self.active_neighbors.discard(src)
+            elif kind == "removed":
+                self.active_neighbors.discard(src)
+                self.wait_set.discard(src)
+            elif kind == "join":
+                ctx.broadcast("removed")
+                ctx.halt(NOT_IN_IS)
+                return
+        self._act(ctx)
+
+    def _act(self, ctx: NodeContext) -> None:
+        if self.status == self.ACTIVE:
+            if self.weight <= 0:
+                ctx.broadcast("removed")
+                ctx.halt(NOT_IN_IS)
+                return
+            if all(self.color > self.neighbor_colors[u]
+                   for u in self.active_neighbors):
+                for u in self.active_neighbors:
+                    ctx.send(u, "reduce", self.weight)
+                self.wait_set = set(self.active_neighbors)
+                self.weight = 0
+                self.status = self.CANDIDATE
+        if self.status == self.CANDIDATE and not self.wait_set:
+            ctx.broadcast("join")
+            ctx.halt(IN_IS)
+
+
+@dataclass
+class MaxISColoringResult:
+    """Outcome of Algorithm 3 plus coloring round accounting."""
+
+    independent_set: Set[Hashable]
+    weight: int
+    local_ratio_rounds: int
+    coloring: ColoringResult
+
+    @property
+    def measured_rounds(self) -> int:
+        """Local-ratio rounds plus the measured coloring pipeline rounds."""
+
+        return self.local_ratio_rounds + self.coloring.measured_rounds
+
+    @property
+    def accounted_rounds(self) -> int:
+        """Local-ratio rounds plus the paper's O(Δ + log* n) coloring."""
+
+        return self.local_ratio_rounds + self.coloring.accounted_bek14_rounds
+
+
+def maxis_local_ratio_coloring(
+    graph: nx.Graph,
+    network: Optional[SynchronousNetwork] = None,
+    coloring: Optional[ColoringResult] = None,
+    max_rounds: Optional[int] = None,
+    label: str = "maxis-coloring",
+) -> MaxISColoringResult:
+    """Run Algorithm 3 on ``graph`` (node attribute ``weight``, default 1)."""
+
+    if coloring is None:
+        coloring = delta_plus_one_coloring(graph)
+    colors = coloring.colors
+    if network is None:
+        network = SynchronousNetwork(graph, seed=0)
+    if max_rounds is None:
+        # Removal needs at most one sweep per color; addition cascades at
+        # most once per color class as well.  Generous constant on top.
+        max_rounds = 20 * (coloring.palette + 2) + 4 * graph.number_of_nodes()
+
+    def factory(node: Hashable) -> MaxISColoringProgram:
+        neighbor_colors = {u: colors[u] for u in graph.neighbors(node)}
+        return MaxISColoringProgram(
+            weight=node_weight(graph, node),
+            color=colors[node],
+            neighbor_colors=neighbor_colors,
+        )
+
+    result = network.run(factory, max_rounds=max_rounds, label=label)
+    chosen = result.output_set(IN_IS)
+    check_independent_set(graph, chosen)
+    total = sum(node_weight(graph, v) for v in chosen)
+    return MaxISColoringResult(
+        independent_set=chosen,
+        weight=total,
+        local_ratio_rounds=result.rounds,
+        coloring=coloring,
+    )

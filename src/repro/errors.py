@@ -1,0 +1,62 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single except clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SimulationError(ReproError):
+    """A distributed simulation could not proceed (deadlock, overrun, ...)."""
+
+
+class RoundLimitExceeded(SimulationError):
+    """A protocol did not terminate within its round budget.
+
+    Attributes
+    ----------
+    rounds:
+        The number of rounds that were executed before giving up.
+    pending:
+        Node identifiers that had not halted when the budget ran out.
+    """
+
+    def __init__(self, rounds: int, pending: tuple = ()):  # noqa: D401
+        self.rounds = rounds
+        self.pending = tuple(pending)
+        message = f"protocol did not terminate within {rounds} rounds"
+        if self.pending:
+            message += f" ({len(self.pending)} nodes still active)"
+        super().__init__(message)
+
+
+class BandwidthViolation(SimulationError):
+    """A message exceeded the CONGEST per-edge bandwidth in strict mode."""
+
+    def __init__(self, src, dst, bits: int, bandwidth: int):
+        self.src = src
+        self.dst = dst
+        self.bits = bits
+        self.bandwidth = bandwidth
+        super().__init__(
+            f"message {src}->{dst} uses {bits} bits, exceeding the "
+            f"CONGEST bandwidth of {bandwidth} bits"
+        )
+
+
+class InvalidInstance(ReproError):
+    """An input graph/weighting does not satisfy a precondition."""
+
+
+class AlgorithmContractViolation(ReproError):
+    """An algorithm produced output that violates its own guarantees.
+
+    This is raised by the validation helpers (used heavily in tests) when,
+    for example, an "independent set" contains an edge or a "matching"
+    contains two edges sharing an endpoint.
+    """

@@ -1,0 +1,107 @@
+"""Randomized distributed maximal matching in O(log n) rounds.
+
+This is the classical Israeli–Itai-style proposal algorithm used as the
+"previous results" baseline for the paper's round comparisons: unmatched
+nodes flip a coin to become proposers or responders; proposers pick a
+random eligible neighbor; responders accept one incoming proposal.  Each
+phase removes a constant fraction of edges in expectation, so the
+algorithm finishes in O(log n) phases w.h.p.
+
+Node outputs: the matched partner, or ``None`` for nodes that end
+unmatched (all their neighbors got matched).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Set, Tuple
+
+import networkx as nx
+
+from ..congest import NodeContext, NodeProgram, SynchronousNetwork
+from ..graphs import check_matching
+
+
+class IsraeliItaiProgram(NodeProgram):
+    """Three rounds per phase: propose, accept, confirm-and-retire.
+
+    Proposers never respond within a phase, so an accept is always
+    honored: a responder that accepts proposer ``u`` can safely match
+    with ``u`` because ``u`` matches with whichever accept it receives,
+    and accepts only ever come from ``u``'s unique proposal target.
+    """
+
+    def on_start(self, ctx: NodeContext) -> None:
+        self.active_neighbors = set(ctx.neighbors)
+        self.proposed_to: Optional[Hashable] = None
+        self.accepted: Optional[Hashable] = None
+
+    def on_round(self, ctx: NodeContext) -> None:
+        phase_step = ctx.round % 3
+        if phase_step == 0:
+            self._propose(ctx)
+        elif phase_step == 1:
+            self._accept(ctx)
+        else:
+            self._confirm(ctx)
+
+    def _propose(self, ctx: NodeContext) -> None:
+        # First digest retirement notices from the previous phase.
+        for src, payload in ctx.inbox.items():
+            if payload and payload[0] == "retired":
+                self.active_neighbors.discard(src)
+        if not self.active_neighbors:
+            ctx.halt(None)
+            return
+        self.proposed_to = None
+        if ctx.rng.random() < 0.5:  # proposer this phase
+            target = ctx.rng.choice(sorted(self.active_neighbors, key=repr))
+            self.proposed_to = target
+            ctx.send(target, "propose")
+
+    def _accept(self, ctx: NodeContext) -> None:
+        self.accepted = None
+        if self.proposed_to is not None:
+            return  # proposers do not respond in the same phase
+        proposers = sorted(
+            (src for src, payload in ctx.inbox.items()
+             if payload and payload[0] == "propose"),
+            key=repr,
+        )
+        if proposers:
+            self.accepted = proposers[0]
+            ctx.send(proposers[0], "accept")
+
+    def _confirm(self, ctx: NodeContext) -> None:
+        got_accept = any(
+            payload and payload[0] == "accept"
+            for payload in ctx.inbox.values()
+        )
+        if self.proposed_to is not None and got_accept:
+            ctx.broadcast("retired")
+            ctx.halt(self.proposed_to)
+            return
+        if self.accepted is not None:
+            ctx.broadcast("retired")
+            ctx.halt(self.accepted)
+
+
+def israeli_itai_matching(
+    graph: nx.Graph,
+    seed: int = 0,
+    network: Optional[SynchronousNetwork] = None,
+    max_rounds: int = 10_000,
+    label: str = "israeli-itai",
+) -> Tuple[Set[frozenset], int]:
+    """Run the maximal-matching protocol; return ``(matching, rounds)``."""
+
+    if network is None:
+        network = SynchronousNetwork(graph, seed=seed)
+    result = network.run(lambda node: IsraeliItaiProgram(),
+                         max_rounds=max_rounds, label=label)
+    matching: Set[frozenset] = set()
+    for node, partner in result.outputs.items():
+        if partner is not None:
+            matching.add(frozenset((node, partner)))
+    pairs = [tuple(edge) for edge in matching]
+    check_matching(graph, pairs, require_maximal=True)
+    return matching, result.rounds

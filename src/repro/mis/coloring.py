@@ -1,0 +1,183 @@
+"""Deterministic distributed (Δ+1)-coloring.
+
+Algorithm 3 consumes a (Δ+1)-coloring computed by a deterministic
+distributed algorithm; the paper charges O(Δ + log* n) rounds for it,
+citing [BEK14, Bar15].  We implement the classical constructive pipeline:
+
+1. **Linial color reduction** via polynomial evaluation families over
+   GF(q): given a proper m-coloring, each node encodes its color as a
+   degree-(k−1) polynomial (its base-q digits) and picks an evaluation
+   point x where it differs from all neighbors; the pair (x, f(x)) is the
+   new color in a palette of q².  Choosing the prime q > Δ(k−1) makes the
+   point exist.  O(log* n) iterations shrink n colors to O(Δ² log² Δ).
+2. **Class-by-class reduction**: color classes above Δ+1 recolor greedily
+   one class per round (each class is an independent set, so the whole
+   class moves simultaneously).
+
+Step 2 costs O(Δ²) rounds rather than BEK14's O(Δ); DESIGN.md §4 records
+this substitution.  :class:`ColoringResult` reports both the measured
+rounds of this pipeline and the analytic O(Δ + log* n) the paper charges
+with [BEK14] as a black box.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable
+
+import networkx as nx
+
+from ..errors import AlgorithmContractViolation
+from ..graphs import check_coloring, max_degree
+from ..utils import log_star, next_prime
+
+
+@dataclass
+class ColoringResult:
+    """A proper coloring plus its round accounting."""
+
+    colors: Dict[Hashable, int]
+    palette: int
+    linial_rounds: int
+    reduction_rounds: int
+    accounted_bek14_rounds: int
+
+    @property
+    def measured_rounds(self) -> int:
+        return self.linial_rounds + self.reduction_rounds
+
+
+def greedy_coloring(graph: nx.Graph) -> Dict[Hashable, int]:
+    """Sequential greedy (Δ+1)-coloring oracle (id order)."""
+
+    colors: Dict[Hashable, int] = {}
+    for v in sorted(graph.nodes, key=repr):
+        taken = {colors[u] for u in graph.neighbors(v) if u in colors}
+        color = 0
+        while color in taken:
+            color += 1
+        colors[v] = color
+    return colors
+
+
+def _linial_parameters(m: int, delta: int) -> tuple[int, int]:
+    """Return ``(q, k)`` for one Linial step on an m-coloring, degree Δ."""
+
+    q = next_prime(max(3, delta + 2))
+    for _ in range(8):  # the fixpoint stabilizes in a couple of iterations
+        k = max(1, math.ceil(math.log(max(2, m)) / math.log(q)))
+        q_needed = next_prime(max(q, delta * max(0, k - 1) + 1))
+        if q_needed == q:
+            break
+        q = q_needed
+    k = max(1, math.ceil(math.log(max(2, m)) / math.log(q)))
+    return q, k
+
+
+def linial_step(graph: nx.Graph, colors: Dict[Hashable, int], q: int,
+                k: int) -> Dict[Hashable, int]:
+    """One Linial reduction round: m colors → at most q² colors.
+
+    Requires the input coloring proper with all colors < q**k, and
+    q > Δ(k−1).  Each node needs only its neighbors' current colors —
+    one CONGEST round.
+    """
+
+    def digits(color: int) -> list[int]:
+        out = []
+        for _ in range(k):
+            out.append(color % q)
+            color //= q
+        return out
+
+    def evaluate(poly: list[int], x: int) -> int:
+        value = 0
+        for coefficient in reversed(poly):
+            value = (value * x + coefficient) % q
+        return value
+
+    polynomials = {v: digits(c) for v, c in colors.items()}
+    new_colors: Dict[Hashable, int] = {}
+    for v in graph.nodes:
+        poly_v = polynomials[v]
+        for x in range(q):
+            value = evaluate(poly_v, x)
+            if all(evaluate(polynomials[u], x) != value
+                   for u in graph.neighbors(v)):
+                new_colors[v] = x * q + value
+                break
+        else:  # pragma: no cover - impossible when q > Δ(k-1)
+            raise AlgorithmContractViolation(
+                f"no good evaluation point for node {v!r} (q={q}, k={k})"
+            )
+    return new_colors
+
+
+def linial_coloring(graph: nx.Graph) -> tuple[Dict[Hashable, int], int, int]:
+    """Iterate Linial steps from the id-coloring until no progress.
+
+    Returns ``(colors, rounds, palette_bound)`` with palette_bound =
+    O(Δ² log² Δ); the number of rounds is O(log* n).
+    """
+
+    delta = max_degree(graph)
+    ordered = sorted(graph.nodes, key=repr)
+    colors = {v: i for i, v in enumerate(ordered)}
+    m = max(len(ordered), 2)
+    rounds = 0
+    while True:
+        q, k = _linial_parameters(m, delta)
+        if q * q >= m:
+            break
+        colors = linial_step(graph, colors, q, k)
+        check_coloring(graph, colors)
+        m = q * q
+        rounds += 1
+    return colors, rounds, m
+
+
+def reduce_palette(graph: nx.Graph, colors: Dict[Hashable, int],
+                   target: int) -> tuple[Dict[Hashable, int], int]:
+    """Class-by-class reduction to ``target`` colors (one round per class).
+
+    Processes color classes from the top down; each class is an
+    independent set, so all its nodes recolor greedily in the same round.
+    Requires ``target >= Δ+1``.
+    """
+
+    delta = max_degree(graph)
+    if target < delta + 1:
+        raise AlgorithmContractViolation(
+            f"cannot reduce below Δ+1 = {delta + 1} colors (asked {target})"
+        )
+    colors = dict(colors)
+    palette = max(colors.values(), default=-1) + 1
+    rounds = 0
+    for c in range(palette - 1, target - 1, -1):
+        rounds += 1
+        for v in [u for u, col in colors.items() if col == c]:
+            taken = {colors[u] for u in graph.neighbors(v)}
+            replacement = 0
+            while replacement in taken:
+                replacement += 1
+            colors[v] = replacement
+    return colors, rounds
+
+
+def delta_plus_one_coloring(graph: nx.Graph) -> ColoringResult:
+    """Full deterministic (Δ+1)-coloring pipeline with round accounting."""
+
+    delta = max_degree(graph)
+    colors, linial_rounds, _ = linial_coloring(graph)
+    colors, reduction_rounds = reduce_palette(graph, colors, delta + 1)
+    check_coloring(graph, colors, palette_size=delta + 1)
+    n = max(2, graph.number_of_nodes())
+    accounted = delta + log_star(n) + 1
+    return ColoringResult(
+        colors=colors,
+        palette=delta + 1,
+        linial_rounds=linial_rounds,
+        reduction_rounds=reduction_rounds,
+        accounted_bek14_rounds=accounted,
+    )

@@ -1,0 +1,109 @@
+"""Sequential MIS / MaxIS baselines and the exact MWIS oracle.
+
+These are the comparators the evaluation needs:
+
+* :func:`greedy_mis` — the minimum-degree greedy of [HR97], a
+  (Δ+2)/3-approximation for unweighted MaxIS;
+* :func:`greedy_mwis` — weight/(degree+1) greedy for weighted MaxIS;
+* :func:`exact_mwis` — branch-and-bound maximum-weight independent set,
+  the optimum oracle used to measure approximation ratios on small
+  instances (exponential time; keep n below ~40).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Set
+
+import networkx as nx
+
+from ..graphs import node_weight
+
+
+def greedy_mis(graph: nx.Graph) -> Set[Hashable]:
+    """Minimum-degree greedy independent set [HR97]."""
+
+    remaining = {v: set(graph.neighbors(v)) for v in graph.nodes}
+    chosen: Set[Hashable] = set()
+    while remaining:
+        v = min(remaining, key=lambda u: (len(remaining[u]), repr(u)))
+        chosen.add(v)
+        dead = remaining.pop(v)
+        for u in list(dead):
+            neighbors = remaining.pop(u, None)
+            if neighbors is None:
+                continue
+            for w in neighbors:
+                if w in remaining:
+                    remaining[w].discard(u)
+        for u in list(remaining):
+            remaining[u].discard(v)
+    return chosen
+
+
+def greedy_mwis(graph: nx.Graph) -> Set[Hashable]:
+    """Greedy weighted independent set ordered by w(v)/(deg(v)+1)."""
+
+    order = sorted(
+        graph.nodes,
+        key=lambda v: (-node_weight(graph, v) / (graph.degree(v) + 1),
+                       repr(v)),
+    )
+    chosen: Set[Hashable] = set()
+    blocked: Set[Hashable] = set()
+    for v in order:
+        if v in blocked:
+            continue
+        chosen.add(v)
+        blocked.add(v)
+        blocked.update(graph.neighbors(v))
+    return chosen
+
+
+def exact_mwis(graph: nx.Graph) -> Set[Hashable]:
+    """Exact maximum-weight independent set by branch and bound.
+
+    Branches on a maximum-degree vertex v: either exclude v, or include v
+    and delete N[v].  Prunes with the trivial total-weight upper bound.
+    Intended for evaluation oracles on small graphs.
+    """
+
+    weights: Dict[Hashable, int] = {
+        v: node_weight(graph, v) for v in graph.nodes
+    }
+    adjacency: Dict[Hashable, Set[Hashable]] = {
+        v: set(graph.neighbors(v)) for v in graph.nodes
+    }
+
+    best: Dict[str, object] = {"weight": -1, "set": set()}
+
+    def search(active: Set[Hashable], current: Set[Hashable],
+               current_weight: int) -> None:
+        remaining_weight = sum(weights[v] for v in active)
+        if current_weight + remaining_weight <= best["weight"]:
+            return
+        if not active:
+            if current_weight > best["weight"]:
+                best["weight"] = current_weight
+                best["set"] = set(current)
+            return
+        # Peel isolated-in-subgraph vertices greedily: always optimal.
+        isolated = [v for v in active if not (adjacency[v] & active)]
+        if isolated:
+            search(active - set(isolated), current | set(isolated),
+                   current_weight + sum(weights[v] for v in isolated))
+            return
+        v = max(active, key=lambda u: (len(adjacency[u] & active), repr(u)))
+        # Branch 1: include v.
+        search(active - {v} - adjacency[v], current | {v},
+               current_weight + weights[v])
+        # Branch 2: exclude v.
+        search(active - {v}, current, current_weight)
+
+    search(set(graph.nodes), set(), 0)
+    return set(best["set"])
+
+
+def mwis_weight(graph: nx.Graph, nodes) -> int:
+    """Total weight of a node set under the graph's node weights."""
+
+    return sum(node_weight(graph, v) for v in nodes)

@@ -1,0 +1,36 @@
+"""Tests for ASCII table/series rendering."""
+
+from repro.analysis import render_series, render_table
+
+
+class TestRenderTable:
+    def test_renders_rows_and_header(self):
+        rows = [{"alg": "alg2", "rounds": 12}, {"alg": "alg3", "rounds": 7}]
+        out = render_table(rows, title="Table 1")
+        assert "Table 1" in out
+        assert "alg2" in out and "alg3" in out
+        assert "rounds" in out
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        out = render_table(rows, columns=["b"])
+        assert "b" in out and "a" not in out.splitlines()[0]
+
+    def test_empty(self):
+        assert render_table([]) == "(empty table)"
+
+    def test_floats_formatted(self):
+        out = render_table([{"x": 1.23456}])
+        assert "1.235" in out
+
+
+class TestRenderSeries:
+    def test_bars_scale(self):
+        out = render_series([1, 2], [1, 10], title="decay")
+        lines = out.splitlines()
+        assert lines[0] == "decay"
+        assert lines[2].count("#") > lines[1].count("#")
+
+    def test_zero_series(self):
+        out = render_series([1], [0])
+        assert "#" not in out

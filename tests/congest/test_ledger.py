@@ -1,0 +1,45 @@
+"""Tests for the round ledger used by phase-composed algorithms."""
+
+import pytest
+
+from repro.congest import RoundLedger
+
+
+class TestRoundLedger:
+    def test_charge_accumulates(self):
+        ledger = RoundLedger()
+        ledger.charge(3, "mis")
+        ledger.charge(2, "mis")
+        ledger.charge(1, "cleanup")
+        assert ledger.total == 6
+        assert ledger.breakdown == {"mis": 5, "cleanup": 1}
+
+    def test_negative_charge_rejected(self):
+        ledger = RoundLedger()
+        with pytest.raises(ValueError):
+            ledger.charge(-1, "oops")
+
+    def test_charge_broadcast_pipelines_wide_payloads(self):
+        ledger = RoundLedger()
+        ledger.charge_broadcast(payload_bits=100, bandwidth=32, label="wide")
+        assert ledger.breakdown["wide"] == 4  # ceil(100/32)
+
+    def test_charge_broadcast_minimum_one_round(self):
+        ledger = RoundLedger()
+        ledger.charge_broadcast(payload_bits=1, bandwidth=64, label="tiny")
+        assert ledger.breakdown["tiny"] == 1
+
+    def test_merge(self):
+        a = RoundLedger()
+        a.charge(2, "x")
+        b = RoundLedger()
+        b.charge(3, "x")
+        b.charge(1, "y")
+        a.merge(b)
+        assert a.total == 6
+        assert a.breakdown == {"x": 5, "y": 1}
+
+    def test_as_dict_includes_total(self):
+        ledger = RoundLedger()
+        ledger.charge(4, "phase")
+        assert ledger.as_dict() == {"phase": 4, "total": 4}

@@ -1,0 +1,111 @@
+"""Tests for line-graph construction and the congestion audit."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.congest import (
+    CongestionAudit,
+    canonical_edge,
+    line_graph,
+    primary_endpoint,
+    run_on_line_graph,
+    secondary_endpoint,
+    shared_endpoint,
+)
+from repro.congest.node import NodeProgram
+from repro.graphs import gnp_graph, path_graph, star_graph
+
+
+class TestCanonicalEdge:
+    def test_symmetric(self):
+        assert canonical_edge(1, 2) == canonical_edge(2, 1)
+
+    def test_endpoints_preserved(self):
+        assert set(canonical_edge(5, 3)) == {3, 5}
+
+    def test_primary_secondary_are_endpoints(self):
+        e = canonical_edge(4, 9)
+        assert {primary_endpoint(e), secondary_endpoint(e)} == {4, 9}
+
+
+class TestLineGraph:
+    def test_node_count_equals_edge_count(self, small_graph):
+        lg = line_graph(small_graph)
+        assert lg.number_of_nodes() == small_graph.number_of_edges()
+
+    def test_degree_identity(self):
+        """deg_L(e) = deg(u) + deg(v) - 2 for e = (u, v)."""
+
+        g = gnp_graph(15, 0.3, seed=2)
+        lg = line_graph(g)
+        for e in lg.nodes:
+            u, v = e
+            assert lg.degree(e) == g.degree(u) + g.degree(v) - 2
+
+    def test_star_line_graph_is_complete(self):
+        g = star_graph(6)
+        lg = line_graph(g)
+        n = lg.number_of_nodes()
+        assert lg.number_of_edges() == n * (n - 1) // 2
+
+    def test_path_line_graph_is_path(self):
+        lg = line_graph(path_graph(6))
+        degrees = sorted(d for _, d in lg.degree())
+        assert degrees == [1, 1, 2, 2, 2]
+
+    def test_edge_weights_become_node_weights(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, weight=7)
+        lg = line_graph(g)
+        assert lg.nodes[canonical_edge(0, 1)]["weight"] == 7
+
+    @given(st.integers(min_value=0, max_value=60))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_networkx_line_graph(self, seed):
+        g = gnp_graph(10, 0.3, seed=seed)
+        ours = line_graph(g)
+        theirs = nx.line_graph(g)
+        assert ours.number_of_nodes() == theirs.number_of_nodes()
+        assert ours.number_of_edges() == theirs.number_of_edges()
+
+
+class TestSharedEndpoint:
+    def test_shared(self):
+        assert shared_endpoint((1, 2), (2, 3)) == 2
+
+    def test_disjoint_raises(self):
+        with pytest.raises(ValueError):
+            shared_endpoint((1, 2), (3, 4))
+
+
+class _Broadcast(NodeProgram):
+    def on_round(self, ctx):
+        if ctx.round == 0:
+            ctx.broadcast("hi")
+        else:
+            ctx.halt(True)
+
+
+class TestCongestionAudit:
+    def test_naive_load_grows_with_star_degree(self):
+        small = CongestionAudit()
+        run_on_line_graph(star_graph(4), lambda e: _Broadcast(),
+                          audit=small, max_rounds=4)
+        big = CongestionAudit()
+        run_on_line_graph(star_graph(12), lambda e: _Broadcast(),
+                          audit=big, max_rounds=4)
+        assert big.max_naive_load() > small.max_naive_load()
+
+    def test_aggregated_load_is_constant(self):
+        for leaves in (4, 8, 12):
+            audit = CongestionAudit()
+            run_on_line_graph(star_graph(leaves), lambda e: _Broadcast(),
+                              audit=audit, max_rounds=4)
+            assert audit.max_aggregated_load() == 2
+
+    def test_outputs_come_back_keyed_by_edge(self):
+        g = path_graph(4)
+        result = run_on_line_graph(g, lambda e: _Broadcast(), max_rounds=4)
+        assert set(result.outputs) == {canonical_edge(u, v)
+                                       for u, v in g.edges}

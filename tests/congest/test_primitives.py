@@ -1,0 +1,99 @@
+"""Tests for the CONGEST primitives — also simulator validation:
+flooding distances must equal networkx shortest-path lengths."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.congest import bfs_tree, convergecast_sum, flood_distances
+from repro.errors import SimulationError
+from repro.graphs import cycle_graph, empty_graph, gnp_graph, path_graph
+
+
+class TestFlood:
+    def test_path_distances(self):
+        distances, rounds = flood_distances(path_graph(6), 0)
+        assert distances == {i: i for i in range(6)}
+        assert rounds >= 5
+
+    def test_matches_networkx(self, topology):
+        source = next(iter(sorted(topology.nodes, key=repr)))
+        distances, _ = flood_distances(topology, source)
+        expected = nx.single_source_shortest_path_length(topology, source)
+        for v in topology.nodes:
+            assert distances[v] == expected.get(v)
+
+    @given(st.integers(min_value=0, max_value=40))
+    @settings(max_examples=15, deadline=None)
+    def test_property_random_graphs(self, seed):
+        g = gnp_graph(20, 0.15, seed=seed)
+        distances, _ = flood_distances(g, 0)
+        expected = nx.single_source_shortest_path_length(g, 0)
+        for v in g.nodes:
+            assert distances[v] == expected.get(v)
+
+    def test_unreachable_nodes_get_none(self):
+        g = empty_graph(4)
+        g.add_edge(0, 1)
+        distances, _ = flood_distances(g, 0)
+        assert distances[1] == 1
+        assert distances[2] is None and distances[3] is None
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(SimulationError):
+            flood_distances(path_graph(3), 99)
+
+    def test_rounds_equal_eccentricity_ish(self):
+        distances, rounds = flood_distances(cycle_graph(10), 0)
+        assert max(d for d in distances.values() if d is not None) == 5
+        assert rounds <= 8
+
+
+class TestBfsTree:
+    def test_root_has_no_parent(self):
+        parents = bfs_tree(path_graph(5), 0)
+        assert parents[0] is None
+
+    def test_parents_form_shortest_path_tree(self):
+        g = gnp_graph(25, 0.2, seed=3)
+        parents = bfs_tree(g, 0)
+        expected = nx.single_source_shortest_path_length(g, 0)
+        for v, parent in parents.items():
+            if v == 0 or parent is None:
+                continue
+            assert expected[v] == expected[parent] + 1
+            assert g.has_edge(v, parent)
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(SimulationError):
+            bfs_tree(path_graph(3), 99)
+
+
+class TestConvergecast:
+    def test_sums_values_to_root(self):
+        g = gnp_graph(20, 0.25, seed=4)
+        parents = bfs_tree(g, 0)
+        values = {v: v + 1 for v in g.nodes if parents.get(v) is not None
+                  or v == 0}
+        total, height = convergecast_sum(
+            g, {v: p for v, p in parents.items()
+                if p is not None or v == 0},
+            values, 0,
+        )
+        assert total == sum(values.values())
+        assert height >= 0
+
+    def test_single_node_tree(self):
+        total, height = convergecast_sum(
+            empty_graph(1), {0: None}, {0: 42}, 0,
+        )
+        assert total == 42
+        assert height == 0
+
+    def test_path_tree_height(self):
+        parents = {0: None, 1: 0, 2: 1, 3: 2}
+        total, height = convergecast_sum(
+            path_graph(4), parents, {v: 1 for v in range(4)}, 0,
+        )
+        assert total == 4
+        assert height == 3

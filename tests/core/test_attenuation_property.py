@@ -1,0 +1,154 @@
+"""Deep property tests for the Appendix B.3 attenuation machinery.
+
+Claim B.6 in full generality: with arbitrary attenuations, the forward
+traversal's endpoint mass and the backward traversal's per-node mass
+must equal Σ_P Π_{v ∈ P} α(v) over the enumerated augmenting paths —
+not just counts (α ≡ 1) but weighted sums.  Also covers Claim B.8's
+attenuation-update envelope and Lemma B.10's deactivation accounting
+under an adversarially tiny good-round cap (failure injection).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import BipartiteAugmentingPhase, enumerate_augmenting_paths
+from repro.graphs import random_bipartite_graph
+from repro.matching import bipartite_sides
+
+
+def greedy_maximal_matching(graph):
+    matching, used = set(), set()
+    for u, v in sorted(graph.edges, key=repr):
+        if u not in used and v not in used:
+            matching.add(frozenset((u, v)))
+            used |= {u, v}
+    return matching
+
+
+def make_phase(graph, matching, d, seed=0, **kwargs):
+    a, b = bipartite_sides(graph)
+    return BipartiteAugmentingPhase(graph, a, b, matching, d=d, eps=0.5,
+                                    seed=seed, **kwargs)
+
+
+def brute_force_mass(graph, matching, d, alpha, b_side):
+    """Σ_P Π α over enumerated paths, per endpoint and per node."""
+
+    per_endpoint = {}
+    per_node = {}
+    for path in enumerate_augmenting_paths(graph, matching, d):
+        mass = math.prod(alpha.get(v, 1.0) for v in path)
+        end = path[-1] if path[-1] in b_side else path[0]
+        per_endpoint[end] = per_endpoint.get(end, 0.0) + mass
+        for v in path:
+            per_node[v] = per_node.get(v, 0.0) + mass
+    return per_endpoint, per_node
+
+
+class TestWeightedTraversal:
+    @given(st.integers(min_value=0, max_value=40))
+    @settings(max_examples=15, deadline=None)
+    def test_forward_mass_equals_weighted_path_sum(self, seed):
+        g = random_bipartite_graph(6, 6, 0.4, seed=seed)
+        matching = greedy_maximal_matching(g)
+        phase = make_phase(g, matching, d=3, seed=seed)
+        # Perturb attenuations to distinct powers of 1/2 per node.
+        for index, v in enumerate(sorted(phase.alpha, key=repr)):
+            if v in phase.b_side and v in phase.mate:
+                continue  # matched B-nodes keep α = 1 (paper invariant)
+            phase.alpha[v] = 2.0 ** (-(index % 4))
+        _, b_side = bipartite_sides(g)
+        mass, contrib, raw = phase._forward(phase.scope)
+        expected_end, expected_node = brute_force_mass(
+            g, matching, 3, phase.alpha, b_side,
+        )
+        for b in b_side:
+            assert mass.get(b, 0.0) == pytest.approx(
+                expected_end.get(b, 0.0)
+            )
+
+    @given(st.integers(min_value=0, max_value=40))
+    @settings(max_examples=15, deadline=None)
+    def test_backward_mass_equals_per_node_weighted_sum(self, seed):
+        g = random_bipartite_graph(6, 6, 0.4, seed=seed)
+        matching = greedy_maximal_matching(g)
+        phase = make_phase(g, matching, d=3, seed=seed)
+        for index, v in enumerate(sorted(phase.alpha, key=repr)):
+            if v in phase.b_side and v in phase.mate:
+                continue
+            phase.alpha[v] = 2.0 ** (-(index % 3))
+        _, b_side = bipartite_sides(g)
+        mass, contrib, raw = phase._forward(phase.scope)
+        through = phase._backward(mass, contrib, raw)
+        _, expected_node = brute_force_mass(
+            g, matching, 3, phase.alpha, b_side,
+        )
+        for v, expected in expected_node.items():
+            assert through.get(v, 0.0) == pytest.approx(expected)
+
+
+class TestAttenuationUpdates:
+    def test_heavy_nodes_shrink_light_nodes_recover(self):
+        g = random_bipartite_graph(8, 8, 0.5, seed=3)
+        matching = greedy_maximal_matching(g)
+        phase = make_phase(g, matching, d=3, seed=3)
+        heavy_node = next(iter(sorted(phase.a_side, key=repr)))
+        # Force one heavy node and one recovering node.
+        phase.alpha[heavy_node] = 0.5
+        through = {heavy_node: 1.0}  # >= 1/(10d)
+        phase._update_attenuations(through)
+        shrink = phase.k ** (-2.0 * phase.d)
+        assert phase.alpha[heavy_node] == pytest.approx(
+            max(0.5 * shrink, phase.alpha_floor)
+        )
+
+    def test_attenuation_never_below_floor(self):
+        g = random_bipartite_graph(6, 6, 0.5, seed=4)
+        matching = greedy_maximal_matching(g)
+        phase = make_phase(g, matching, d=3, seed=4)
+        through = {v: 1.0 for v in phase.alpha}
+        for _ in range(50):
+            phase._update_attenuations(through)
+        for v in phase.a_side | (phase.b_side - set(phase.mate)):
+            assert phase.alpha[v] >= phase.alpha_floor
+
+    def test_recovery_capped_at_initial(self):
+        g = random_bipartite_graph(6, 6, 0.5, seed=5)
+        matching = greedy_maximal_matching(g)
+        phase = make_phase(g, matching, d=1, seed=5)
+        for _ in range(10):
+            phase._update_attenuations({})  # nobody heavy: all recover
+        for v, alpha in phase.alpha.items():
+            assert alpha <= phase.alpha0[v] + 1e-12
+
+
+class TestForcedDeactivation:
+    def test_tiny_good_cap_triggers_deactivation(self):
+        """Failure injection: with a good-round cap of zero every node
+        that has a good iteration is deactivated; the phase must still
+        terminate with a valid matching and report the deactivations."""
+
+        g = random_bipartite_graph(8, 8, 0.6, seed=6)
+        phase = make_phase(g, set(), d=1, seed=6)
+        phase.good_cap = 0
+        outcome = phase.run()
+        from repro.graphs import check_matching
+
+        check_matching(g, [tuple(e) for e in phase.matching])
+        # With cap 0 either everything matched fast or somebody was
+        # deactivated; both are legal, but the bookkeeping must agree.
+        for v in outcome.deactivated:
+            assert v not in phase.scope
+
+    def test_deactivated_nodes_excluded_from_paths(self):
+        g = random_bipartite_graph(8, 8, 0.6, seed=7)
+        phase = make_phase(g, set(), d=1, seed=7)
+        phase.good_cap = 0
+        outcome = phase.run()
+        if outcome.drained:
+            remaining = enumerate_augmenting_paths(
+                g, phase.matching, 1, active=phase.scope,
+            )
+            assert not remaining

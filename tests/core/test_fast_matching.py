@@ -1,0 +1,125 @@
+"""Tests for the fast (2+ε) matching algorithms (Thm 3.2, Appendix B.1)."""
+
+import pytest
+
+from repro.core import (
+    bucketed_constant_approx_mwm,
+    fast_matching_2eps,
+    fast_matching_weighted_2eps,
+    nearly_maximal_matching,
+)
+from repro.errors import InvalidInstance
+from repro.graphs import (
+    assign_edge_weights,
+    check_matching,
+    gnp_graph,
+    random_regular_graph,
+)
+from repro.matching import (
+    matching_weight,
+    optimum_cardinality,
+    optimum_weight,
+)
+
+
+class TestNearlyMaximalMatching:
+    def test_valid_matching(self, small_graph):
+        matching, unlucky, rounds = nearly_maximal_matching(
+            small_graph, seed=1
+        )
+        check_matching(small_graph, [tuple(e) for e in matching])
+        assert rounds > 0
+
+    def test_unlucky_edges_are_isolated_from_matching(self, small_graph):
+        matching, unlucky, _ = nearly_maximal_matching(small_graph, seed=2)
+        matched_nodes = {v for e in matching for v in e}
+        for e in unlucky:
+            assert not (set(e) & matched_nodes)
+
+    def test_empty_graph(self):
+        import networkx as nx
+
+        matching, unlucky, rounds = nearly_maximal_matching(nx.Graph())
+        assert matching == set() and rounds == 0
+
+
+class TestFast2EpsCardinality:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_two_plus_eps_guarantee(self, seed):
+        """Theorem 3.2 with slack: averaged over seeds the matching has
+        at least OPT/(2+ε) edges (here it is usually much better)."""
+
+        g = random_regular_graph(5, 40, seed=seed)
+        eps = 0.5
+        result = fast_matching_2eps(g, eps=eps, seed=seed)
+        check_matching(g, [tuple(e) for e in result.matching])
+        assert (2 + eps) * len(result.matching) >= optimum_cardinality(g)
+
+    def test_rounds_ledger_populated(self, small_graph):
+        result = fast_matching_2eps(small_graph, eps=0.5, seed=1)
+        assert result.ledger.total == result.rounds
+        assert "nmis-on-line-graph" in result.ledger.breakdown
+
+    def test_invalid_eps(self, small_graph):
+        with pytest.raises(InvalidInstance):
+            fast_matching_2eps(small_graph, eps=0)
+
+
+class TestBucketedConstantApprox:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_valid_and_constant_factor(self, seed):
+        g = assign_edge_weights(gnp_graph(18, 0.25, seed=seed), 64,
+                                seed=seed + 1)
+        matching = bucketed_constant_approx_mwm(g, eps=0.5, seed=seed)
+        check_matching(g, [tuple(e) for e in matching])
+        found = matching_weight(g, matching)
+        # Loose empirical constant-factor check (theory: O(1)).
+        assert 8 * found >= optimum_weight(g)
+
+    def test_single_weight_class(self):
+        g = assign_edge_weights(gnp_graph(12, 0.3, seed=1), 1,
+                                scheme="constant", seed=2)
+        matching = bucketed_constant_approx_mwm(g, eps=0.5, seed=3)
+        check_matching(g, [tuple(e) for e in matching])
+        assert matching
+
+    def test_empty_graph(self):
+        import networkx as nx
+
+        assert bucketed_constant_approx_mwm(nx.Graph()) == set()
+
+
+class TestFastWeighted2Eps:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_two_plus_eps_weight_guarantee(self, seed):
+        g = assign_edge_weights(gnp_graph(16, 0.3, seed=seed), 32,
+                                seed=seed + 1)
+        eps = 0.5
+        result = fast_matching_weighted_2eps(g, eps=eps, seed=seed)
+        check_matching(g, [tuple(e) for e in result.matching])
+        assert (2 + eps) * result.weight >= optimum_weight(g)
+
+    def test_bimodal_weights(self):
+        """The workload where cardinality-only algorithms lose badly."""
+
+        g = assign_edge_weights(gnp_graph(20, 0.25, seed=4), 100,
+                                scheme="bimodal", seed=5)
+        result = fast_matching_weighted_2eps(g, eps=0.5, seed=6)
+        assert (2 + 0.5) * result.weight >= optimum_weight(g)
+
+    def test_augmentation_never_decreases_weight(self):
+        g = assign_edge_weights(gnp_graph(14, 0.3, seed=7), 16, seed=8)
+        base = matching_weight(
+            g, bucketed_constant_approx_mwm(g, eps=0.5, seed=9)
+        )
+        refined = fast_matching_weighted_2eps(g, eps=0.5, seed=9)
+        assert refined.weight >= base
+
+    def test_ledger_breakdown(self, edge_weighted_graph):
+        result = fast_matching_weighted_2eps(edge_weighted_graph, eps=0.5)
+        assert "bucketed-parallel-matching" in result.ledger.breakdown
+        assert result.rounds == result.ledger.total
+
+    def test_invalid_eps(self, edge_weighted_graph):
+        with pytest.raises(InvalidInstance):
+            fast_matching_weighted_2eps(edge_weighted_graph, eps=-1)

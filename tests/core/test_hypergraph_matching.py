@@ -1,0 +1,107 @@
+"""Tests for the §B.2 nearly-maximal hypergraph matching."""
+
+import pytest
+
+from repro.core import (
+    good_round_cap,
+    lemma_b3_budget,
+    nearly_maximal_hypergraph_matching,
+)
+from repro.errors import AlgorithmContractViolation
+from repro.utils import stable_rng
+
+
+def random_hypergraph(n_vertices, n_edges, rank, seed):
+    rng = stable_rng(seed, "hg")
+    edges = []
+    for _ in range(n_edges):
+        size = rng.randint(1, rank)
+        edges.append(frozenset(rng.sample(range(n_vertices), size)))
+    return edges
+
+
+class TestBudgets:
+    def test_good_round_cap_grows_with_rank(self):
+        assert good_round_cap(4, 2, 0.05) > good_round_cap(2, 2, 0.05)
+
+    def test_lemma_b3_budget_positive(self):
+        assert lemma_b3_budget(3, 2, 16, 0.05) >= 1
+
+
+class TestMatching:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matched_edges_disjoint(self, seed):
+        edges = random_hypergraph(30, 40, 4, seed)
+        result = nearly_maximal_hypergraph_matching(
+            edges, rank=4, seed=seed
+        )
+        seen = set()
+        for i in result.matched_edges:
+            assert not (seen & edges[i])
+            seen |= edges[i]
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_drained_means_no_all_active_edge(self, seed):
+        """Lemma B.3's deterministic guarantee."""
+
+        edges = random_hypergraph(25, 35, 3, seed)
+        result = nearly_maximal_hypergraph_matching(
+            edges, rank=3, seed=seed
+        )
+        assert result.drained
+        removed = set(result.deactivated)
+        for i in result.matched_edges:
+            removed |= edges[i]
+        for e in edges:
+            assert e & removed, f"edge {sorted(e)} survived untouched"
+
+    def test_deactivation_is_rare_with_mild_delta(self):
+        edges = random_hypergraph(40, 50, 3, 7)
+        result = nearly_maximal_hypergraph_matching(
+            edges, rank=3, failure_delta=0.05, seed=8
+        )
+        assert len(result.deactivated) <= 4
+
+    def test_pairwise_disjoint_edges_all_match(self):
+        edges = [frozenset({i, i + 100}) for i in range(10)]
+        result = nearly_maximal_hypergraph_matching(edges, rank=2, seed=1)
+        assert sorted(result.matched_edges) == list(range(10))
+
+    def test_sunflower_picks_one(self):
+        """Edges all sharing a core vertex: at most one can match."""
+
+        edges = [frozenset({0, i}) for i in range(1, 12)]
+        result = nearly_maximal_hypergraph_matching(edges, rank=2, seed=2)
+        assert len(result.matched_edges) == 1
+
+    def test_rank_one_edges(self):
+        edges = [frozenset({i}) for i in range(6)]
+        result = nearly_maximal_hypergraph_matching(edges, rank=1, seed=3)
+        assert len(result.matched_edges) == 6
+
+    def test_rank_violation_rejected(self):
+        with pytest.raises(AlgorithmContractViolation):
+            nearly_maximal_hypergraph_matching(
+                [frozenset({1, 2, 3})], rank=2
+            )
+
+    def test_empty_edge_rejected(self):
+        with pytest.raises(AlgorithmContractViolation):
+            nearly_maximal_hypergraph_matching([frozenset()], rank=2)
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(AlgorithmContractViolation):
+            nearly_maximal_hypergraph_matching(
+                [frozenset({1})], rank=1, k=1.0
+            )
+
+    def test_no_edges(self):
+        result = nearly_maximal_hypergraph_matching([], rank=3)
+        assert result.matched_edges == []
+        assert result.drained
+
+    def test_deterministic_per_seed(self):
+        edges = random_hypergraph(20, 25, 3, 4)
+        a = nearly_maximal_hypergraph_matching(edges, rank=3, seed=5)
+        b = nearly_maximal_hypergraph_matching(edges, rank=3, seed=5)
+        assert a.matched_edges == b.matched_edges

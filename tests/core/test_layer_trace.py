@@ -1,0 +1,22 @@
+"""Tests for the LayerTrace instrumentation."""
+
+from repro.core import LayerTrace
+
+
+class TestLayerTrace:
+    def test_record_and_series(self):
+        trace = LayerTrace()
+        trace.record(0, 5)
+        trace.record(0, 3)
+        trace.record(3, 4)
+        trace.record(6, 1)
+        assert trace.top_layer_series() == [5, 4, 1]
+
+    def test_rounds_sorted_not_insertion_order(self):
+        trace = LayerTrace()
+        trace.record(6, 2)
+        trace.record(0, 7)
+        assert trace.top_layer_series() == [7, 2]
+
+    def test_empty_series(self):
+        assert LayerTrace().top_layer_series() == []

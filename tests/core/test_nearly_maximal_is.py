@@ -1,0 +1,80 @@
+"""Tests for the Theorem 3.1 improved nearly-maximal IS."""
+
+import pytest
+
+from repro.core import (
+    improved_nearly_maximal_is,
+    paper_k,
+    residual_decay_series,
+    theorem_3_1_budget,
+)
+from repro.graphs import check_independent_set, gnp_graph, random_regular_graph
+
+
+class TestParameters:
+    def test_paper_k_floors_at_two(self):
+        assert paper_k(4) == 2.0
+        assert paper_k(1) == 2.0
+
+    def test_paper_k_formula_kicks_in_for_huge_delta(self):
+        huge = 2 ** 4000  # log Δ = 4000, log^0.1 Δ ≈ 2.29
+        assert paper_k(huge) > 2.0
+
+    def test_budget_monotone_in_delta(self):
+        assert theorem_3_1_budget(1024, 2, 0.05) >= theorem_3_1_budget(
+            16, 2, 0.05
+        )
+
+    def test_budget_grows_when_failure_shrinks(self):
+        assert theorem_3_1_budget(64, 2, 0.001) > theorem_3_1_budget(
+            64, 2, 0.2
+        )
+
+    def test_budget_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            theorem_3_1_budget(64, 2, 1.5)
+
+    def test_budget_log_over_logk_term(self):
+        """Larger K shrinks the log Δ / log K term (the improvement)."""
+
+        d = 2 ** 1000  # log Δ = 1000 so the log term dominates
+        small_k = theorem_3_1_budget(d, 2, 0.5)
+        big_k = theorem_3_1_budget(d, 8, 0.5)
+        assert big_k < small_k
+
+
+class TestAlgorithm:
+    def test_independence(self, small_graph):
+        result = improved_nearly_maximal_is(small_graph, seed=1)
+        check_independent_set(small_graph, result.independent_set)
+
+    def test_residual_fraction_small(self):
+        """Theorem 3.1: per-node failure ≤ δ; empirically the residual
+        fraction over seeds must be well below a loose 2δ."""
+
+        g = random_regular_graph(6, 80, seed=2)
+        total_nodes = 0
+        total_residual = 0
+        for seed in range(6):
+            result = improved_nearly_maximal_is(
+                g, failure_delta=0.05, seed=seed
+            )
+            total_nodes += g.number_of_nodes()
+            total_residual += len(result.residual)
+        assert total_residual / total_nodes <= 0.1
+
+    def test_stats_collection(self, small_graph):
+        result = improved_nearly_maximal_is(small_graph, seed=3,
+                                            collect_stats=True)
+        assert result.stats is not None
+
+    def test_decay_series_is_roughly_decreasing(self):
+        g = random_regular_graph(4, 40, seed=4)
+        series = residual_decay_series(g, k=2, max_iterations=12,
+                                       seeds=range(3))
+        assert series[0] >= series[-1]
+        assert series[-1] <= 0.2
+
+    def test_explicit_k_respected(self, small_graph):
+        result = improved_nearly_maximal_is(small_graph, k=3, seed=5)
+        assert result.k == 3

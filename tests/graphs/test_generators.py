@@ -1,0 +1,139 @@
+"""Tests for graph generators: determinism and structural properties."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidInstance
+from repro.graphs import (
+    FAMILIES,
+    bipartite_regular_graph,
+    caterpillar_graph,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    gnp_graph,
+    grid_graph,
+    max_degree,
+    path_graph,
+    power_law_graph,
+    random_bipartite_graph,
+    random_regular_graph,
+    random_tree,
+    star_graph,
+)
+
+
+class TestBasicShapes:
+    def test_empty_graph(self):
+        g = empty_graph(5)
+        assert g.number_of_nodes() == 5
+        assert g.number_of_edges() == 0
+
+    def test_path(self):
+        g = path_graph(6)
+        assert g.number_of_edges() == 5
+        assert max_degree(g) == 2
+
+    def test_cycle(self):
+        g = cycle_graph(7)
+        assert g.number_of_edges() == 7
+        assert all(d == 2 for _, d in g.degree())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(InvalidInstance):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(8)
+        assert g.degree(0) == 8
+        assert max_degree(g) == 8
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.number_of_edges() == 15
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.number_of_nodes() == 12
+        assert max_degree(g) <= 4
+
+    def test_caterpillar(self):
+        g = caterpillar_graph(4, 2)
+        assert g.number_of_nodes() == 4 + 8
+        leaves = [v for v, d in g.degree() if d == 1]
+        assert len(leaves) >= 8
+
+
+class TestRandomGenerators:
+    def test_gnp_deterministic(self):
+        a = gnp_graph(20, 0.2, seed=3)
+        b = gnp_graph(20, 0.2, seed=3)
+        assert set(a.edges) == set(b.edges)
+
+    def test_gnp_seed_sensitivity(self):
+        a = gnp_graph(20, 0.3, seed=1)
+        b = gnp_graph(20, 0.3, seed=2)
+        assert set(a.edges) != set(b.edges)
+
+    def test_gnp_keeps_isolated_nodes(self):
+        g = gnp_graph(10, 0.0, seed=0)
+        assert g.number_of_nodes() == 10
+        assert g.number_of_edges() == 0
+
+    def test_regular_degrees(self):
+        g = random_regular_graph(4, 20, seed=1)
+        assert all(d == 4 for _, d in g.degree())
+
+    def test_regular_invalid(self):
+        with pytest.raises(InvalidInstance):
+            random_regular_graph(3, 5, seed=0)  # odd product
+
+    def test_tree_is_tree(self):
+        g = random_tree(15, seed=4)
+        assert nx.is_tree(g)
+
+    def test_tree_tiny(self):
+        assert random_tree(1).number_of_nodes() == 1
+        assert random_tree(2).number_of_edges() == 1
+
+    def test_power_law_degree_spread(self):
+        g = power_law_graph(120, seed=1)
+        degrees = sorted((d for _, d in g.degree()), reverse=True)
+        assert degrees[0] > degrees[len(degrees) // 2]
+
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=15, deadline=None)
+    def test_gnp_simple(self, seed):
+        g = gnp_graph(12, 0.4, seed=seed)
+        assert not any(u == v for u, v in g.edges)
+
+
+class TestBipartite:
+    def test_sides_attribute(self):
+        g = random_bipartite_graph(6, 8, 0.3, seed=2)
+        a = [v for v, d in g.nodes(data=True) if d["side"] == "A"]
+        b = [v for v, d in g.nodes(data=True) if d["side"] == "B"]
+        assert len(a) == 6 and len(b) == 8
+
+    def test_edges_cross_sides(self):
+        g = random_bipartite_graph(6, 6, 0.5, seed=1)
+        for u, v in g.edges:
+            assert g.nodes[u]["side"] != g.nodes[v]["side"]
+
+    def test_bipartite_regular(self):
+        g = bipartite_regular_graph(8, 3, seed=0)
+        # Built from 3 perfect matchings: degree <= 3, sides regularish.
+        assert max_degree(g) <= 3
+        assert nx.is_bipartite(g)
+
+    def test_bipartite_regular_invalid(self):
+        with pytest.raises(InvalidInstance):
+            bipartite_regular_graph(3, 5)
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_every_family_builds(self, family):
+        g = FAMILIES[family](16, 0)
+        assert g.number_of_nodes() >= 2

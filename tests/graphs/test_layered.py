@@ -1,0 +1,44 @@
+"""Tests for the serializing layered-chain generator."""
+
+import pytest
+
+from repro.errors import InvalidInstance
+from repro.graphs import layered_graph
+
+
+class TestLayeredGraph:
+    def test_shape(self):
+        g = layered_graph(4, 3)
+        assert g.number_of_nodes() == 12
+        # Complete inter-layer bipartite blocks: 3 * (3*3) edges.
+        assert g.number_of_edges() == 27
+
+    def test_layers_are_independent_sets(self):
+        g = layered_graph(5, 4)
+        for u, v in g.edges:
+            assert abs(g.nodes[u]["layer"] - g.nodes[v]["layer"]) == 1
+
+    def test_layer_attribute_range(self):
+        g = layered_graph(6, 2)
+        layers = {d["layer"] for _, d in g.nodes(data=True)}
+        assert layers == set(range(6))
+
+    def test_sparse_variant(self):
+        dense = layered_graph(4, 5, p=1.0)
+        sparse = layered_graph(4, 5, seed=1, p=0.3)
+        assert sparse.number_of_edges() < dense.number_of_edges()
+
+    def test_deterministic(self):
+        a = layered_graph(4, 4, seed=7, p=0.5)
+        b = layered_graph(4, 4, seed=7, p=0.5)
+        assert set(a.edges) == set(b.edges)
+
+    def test_single_layer(self):
+        g = layered_graph(1, 5)
+        assert g.number_of_edges() == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidInstance):
+            layered_graph(0, 3)
+        with pytest.raises(InvalidInstance):
+            layered_graph(3, 0)

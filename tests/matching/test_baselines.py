@@ -1,0 +1,91 @@
+"""Tests for sequential matching baselines and exact oracles."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    assign_edge_weights,
+    check_matching,
+    cycle_graph,
+    gnp_graph,
+    path_graph,
+)
+from repro.matching import (
+    exact_max_cardinality_matching,
+    exact_max_weight_matching,
+    greedy_maximal_matching,
+    greedy_weighted_matching,
+    matching_weight,
+    optimum_cardinality,
+    optimum_weight,
+)
+
+
+class TestGreedyWeighted:
+    def test_valid_matching(self, edge_weighted_graph):
+        m = greedy_weighted_matching(edge_weighted_graph)
+        check_matching(edge_weighted_graph, [tuple(e) for e in m])
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_half_approximation(self, seed):
+        g = assign_edge_weights(gnp_graph(16, 0.3, seed=seed), 20,
+                                seed=seed + 1)
+        greedy = matching_weight(g, greedy_weighted_matching(g))
+        assert 2 * greedy >= optimum_weight(g)
+
+    def test_prefers_heavy_edge(self):
+        g = path_graph(3)
+        nx.set_edge_attributes(g, {(0, 1): 1, (1, 2): 10}, "weight")
+        m = greedy_weighted_matching(g)
+        assert m == {frozenset((1, 2))}
+
+
+class TestGreedyMaximal:
+    def test_maximal(self, small_graph):
+        m = greedy_maximal_matching(small_graph)
+        check_matching(small_graph, [tuple(e) for e in m],
+                       require_maximal=True)
+
+    def test_cardinality_half(self):
+        for seed in range(4):
+            g = gnp_graph(18, 0.25, seed=seed)
+            m = greedy_maximal_matching(g)
+            assert 2 * len(m) >= optimum_cardinality(g)
+
+
+class TestExactOracles:
+    def test_weight_at_least_cardinality_weight(self, edge_weighted_graph):
+        w = optimum_weight(edge_weighted_graph)
+        c = optimum_cardinality(edge_weighted_graph)
+        assert w >= c  # weights are >= 1
+
+    def test_path_exact(self):
+        g = path_graph(4)
+        assert optimum_cardinality(g) == 2
+
+    def test_even_cycle(self):
+        assert optimum_cardinality(cycle_graph(8)) == 4
+
+    def test_odd_cycle(self):
+        assert optimum_cardinality(cycle_graph(7)) == 3
+
+    def test_weighted_prefers_heavy(self):
+        g = path_graph(3)
+        nx.set_edge_attributes(g, {(0, 1): 5, (1, 2): 2}, "weight")
+        m = exact_max_weight_matching(g)
+        assert m == {frozenset((0, 1))}
+
+    def test_exact_valid(self, edge_weighted_graph):
+        m = exact_max_weight_matching(edge_weighted_graph)
+        check_matching(edge_weighted_graph, [tuple(e) for e in m])
+        m2 = exact_max_cardinality_matching(edge_weighted_graph)
+        check_matching(edge_weighted_graph, [tuple(e) for e in m2])
+
+    @given(st.integers(min_value=0, max_value=20))
+    @settings(max_examples=10, deadline=None)
+    def test_cardinality_dominates_all_matchings(self, seed):
+        g = gnp_graph(12, 0.3, seed=seed)
+        opt = optimum_cardinality(g)
+        greedy = greedy_maximal_matching(g)
+        assert len(greedy) <= opt

@@ -1,0 +1,67 @@
+"""Tests for the sequential Hopcroft–Karp implementation."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidInstance
+from repro.graphs import (
+    bipartite_regular_graph,
+    check_matching,
+    path_graph,
+    random_bipartite_graph,
+)
+from repro.matching import bipartite_sides, hopcroft_karp, optimum_cardinality
+
+
+class TestBipartiteSides:
+    def test_uses_side_attribute(self, bipartite_graph):
+        a, b = bipartite_sides(bipartite_graph)
+        assert len(a) == 15 and len(b) == 15
+
+    def test_falls_back_to_two_coloring(self):
+        g = path_graph(4)
+        a, b = bipartite_sides(g)
+        assert a | b == set(g.nodes)
+        for u, v in g.edges:
+            assert (u in a) != (v in a)
+
+    def test_rejects_odd_cycle(self):
+        g = nx.cycle_graph(5)
+        with pytest.raises(InvalidInstance):
+            bipartite_sides(g)
+
+    def test_rejects_partial_side_attributes(self):
+        g = nx.Graph()
+        g.add_node(0, side="A")
+        g.add_node(1)
+        g.add_edge(0, 1)
+        with pytest.raises(InvalidInstance):
+            bipartite_sides(g)
+
+
+class TestHopcroftKarp:
+    def test_valid_matching(self, bipartite_graph):
+        m = hopcroft_karp(bipartite_graph)
+        check_matching(bipartite_graph, [tuple(e) for e in m])
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_networkx_optimum(self, seed):
+        g = random_bipartite_graph(12, 14, 0.25, seed=seed)
+        assert len(hopcroft_karp(g)) == optimum_cardinality(g)
+
+    def test_perfect_matching_on_regular(self):
+        g = bipartite_regular_graph(10, 3, seed=1)
+        assert len(hopcroft_karp(g)) == 10  # Hall: regular bipartite
+
+    def test_empty_graph(self):
+        g = nx.Graph()
+        g.add_node(0, side="A")
+        g.add_node(1, side="B")
+        assert hopcroft_karp(g) == set()
+
+    @given(st.integers(min_value=0, max_value=30))
+    @settings(max_examples=12, deadline=None)
+    def test_property_optimality(self, seed):
+        g = random_bipartite_graph(8, 9, 0.3, seed=seed)
+        assert len(hopcroft_karp(g)) == optimum_cardinality(g)

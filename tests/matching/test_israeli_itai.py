@@ -1,0 +1,48 @@
+"""Tests for the Israeli–Itai-style distributed maximal matching."""
+
+import pytest
+
+from repro.congest import SynchronousNetwork
+from repro.graphs import check_matching, complete_graph, gnp_graph, path_graph
+from repro.matching import israeli_itai_matching
+
+
+class TestIsraeliItai:
+    def test_valid_and_maximal(self, topology):
+        matching, _ = israeli_itai_matching(topology, seed=1)
+        check_matching(topology, [tuple(e) for e in matching],
+                       require_maximal=True)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_many_seeds(self, seed):
+        g = gnp_graph(30, 0.2, seed=seed)
+        matching, _ = israeli_itai_matching(g, seed=seed)
+        check_matching(g, [tuple(e) for e in matching],
+                       require_maximal=True)
+
+    def test_complete_graph_matches_half(self):
+        g = complete_graph(10)
+        matching, _ = israeli_itai_matching(g, seed=2)
+        assert len(matching) == 5
+
+    def test_rounds_scale_logarithmically(self):
+        _, small_rounds = israeli_itai_matching(
+            gnp_graph(16, 0.3, seed=1), seed=1
+        )
+        _, big_rounds = israeli_itai_matching(
+            gnp_graph(200, 0.03, seed=1), seed=1
+        )
+        assert big_rounds <= 8 * max(3, small_rounds)
+
+    def test_outputs_are_symmetric(self):
+        g = path_graph(6)
+        net = SynchronousNetwork(g, seed=3)
+        matching, _ = israeli_itai_matching(g, network=net)
+        for edge in matching:
+            assert len(edge) == 2
+
+    def test_deterministic_per_seed(self):
+        g = gnp_graph(25, 0.2, seed=4)
+        a, _ = israeli_itai_matching(g, seed=7)
+        b, _ = israeli_itai_matching(g, seed=7)
+        assert a == b

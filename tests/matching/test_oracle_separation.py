@@ -1,0 +1,45 @@
+"""Oracle sanity: weight-optimal and cardinality-optimal matchings can
+genuinely differ; the library exposes both correctly."""
+
+import networkx as nx
+
+from repro.matching import (
+    exact_max_cardinality_matching,
+    exact_max_weight_matching,
+    matching_weight,
+    optimum_cardinality,
+    optimum_weight,
+)
+
+
+def separation_instance():
+    """Path a-b-c-d where the middle edge outweighs both side edges:
+    max-weight takes {bc} (weight 10), max-cardinality takes
+    {ab, cd} (2 edges, weight 2)."""
+
+    g = nx.Graph()
+    g.add_edge("a", "b", weight=1)
+    g.add_edge("b", "c", weight=10)
+    g.add_edge("c", "d", weight=1)
+    return g
+
+
+class TestSeparation:
+    def test_weight_oracle_prefers_heavy_edge(self):
+        g = separation_instance()
+        m = exact_max_weight_matching(g)
+        assert m == {frozenset(("b", "c"))}
+        assert optimum_weight(g) == 10
+
+    def test_cardinality_oracle_prefers_two_edges(self):
+        g = separation_instance()
+        m = exact_max_cardinality_matching(g)
+        assert len(m) == 2
+        assert optimum_cardinality(g) == 2
+
+    def test_weight_of_cardinality_solution_is_smaller(self):
+        g = separation_instance()
+        cardinality_weight = matching_weight(
+            g, exact_max_cardinality_matching(g)
+        )
+        assert cardinality_weight < optimum_weight(g)

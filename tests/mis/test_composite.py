@@ -1,0 +1,81 @@
+"""Tests for the Discussion-section almost-maximal IS and composite MIS."""
+
+import pytest
+
+from repro.graphs import (
+    check_independent_set,
+    complete_graph,
+    empty_graph,
+    gnp_graph,
+    random_regular_graph,
+)
+from repro.mis import (
+    almost_maximal_independent_set,
+    discussion_failure_probability,
+    nmis_plus_luby_mis,
+)
+
+
+class TestFailureProbability:
+    def test_decreases_with_delta(self):
+        assert discussion_failure_probability(2**20) < \
+            discussion_failure_probability(8)
+
+    def test_gamma_range_enforced(self):
+        with pytest.raises(ValueError):
+            discussion_failure_probability(16, gamma=1.5)
+
+    def test_smaller_gamma_smaller_failure(self):
+        # 1-γ larger → exponent larger → failure smaller.
+        assert discussion_failure_probability(2**16, gamma=0.1) < \
+            discussion_failure_probability(2**16, gamma=0.9)
+
+
+class TestAlmostMaximal:
+    def test_independence(self, small_graph):
+        result = almost_maximal_independent_set(small_graph, seed=1)
+        check_independent_set(small_graph, result.independent_set)
+
+    def test_residual_rate_within_budgeted_failure(self):
+        g = random_regular_graph(6, 80, seed=2)
+        residuals = 0
+        nodes = 0
+        for seed in range(5):
+            result = almost_maximal_independent_set(g, seed=seed)
+            residuals += len(result.residual)
+            nodes += g.number_of_nodes()
+        # The budget targets 2^{-log^{0.7} Δ} ≈ 0.2 for Δ=6; allow 2x.
+        assert residuals / nodes <= 2 * result.failure_probability + 0.05
+
+    def test_reports_failure_probability(self, small_graph):
+        result = almost_maximal_independent_set(small_graph, gamma=0.5)
+        assert 0 < result.failure_probability < 1
+
+
+class TestCompositeMis:
+    def test_true_mis(self, topology):
+        mis, rounds = nmis_plus_luby_mis(topology, seed=3)
+        check_independent_set(topology, mis, require_maximal=True)
+        assert rounds > 0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_graphs(self, seed):
+        g = gnp_graph(35, 0.15, seed=seed)
+        mis, _ = nmis_plus_luby_mis(g, seed=seed)
+        check_independent_set(g, mis, require_maximal=True)
+
+    def test_complete_graph(self):
+        mis, _ = nmis_plus_luby_mis(complete_graph(12), seed=4)
+        assert len(mis) == 1
+
+    def test_isolated_nodes(self):
+        mis, _ = nmis_plus_luby_mis(empty_graph(7), seed=5)
+        assert mis == set(range(7))
+
+    def test_short_nmis_stage_still_yields_mis(self):
+        """Even a 1-iteration NMIS stage must produce a valid MIS after
+        cleanup (the cleanup bears the load)."""
+
+        g = gnp_graph(30, 0.2, seed=6)
+        mis, _ = nmis_plus_luby_mis(g, nmis_iterations=1, seed=7)
+        check_independent_set(g, mis, require_maximal=True)

@@ -1,0 +1,77 @@
+"""Tests for Ghaffari's nearly-maximal independent set."""
+
+import pytest
+
+from repro.graphs import check_independent_set, gnp_graph, random_regular_graph
+from repro.mis import GoldenRoundStats, nearly_maximal_is
+
+
+class TestNearlyMaximalIS:
+    def test_output_is_independent(self, small_graph):
+        independent, residual, _ = nearly_maximal_is(
+            small_graph, iterations=25, k=2, seed=1
+        )
+        check_independent_set(small_graph, independent)
+
+    def test_partition_of_nodes(self, small_graph):
+        """Every node is in the set, dominated, or residual."""
+
+        independent, residual, _ = nearly_maximal_is(
+            small_graph, iterations=25, k=2, seed=1
+        )
+        dominated = set(small_graph.nodes) - independent - residual
+        for v in dominated:
+            assert any(u in independent for u in small_graph.neighbors(v))
+
+    def test_residual_nodes_have_no_is_neighbor(self, small_graph):
+        independent, residual, _ = nearly_maximal_is(
+            small_graph, iterations=25, k=2, seed=1
+        )
+        for v in residual:
+            assert v not in independent
+            assert not any(
+                u in independent for u in small_graph.neighbors(v)
+            )
+
+    def test_more_iterations_fewer_residuals(self):
+        g = random_regular_graph(6, 60, seed=2)
+        few = sum(
+            len(nearly_maximal_is(g, iterations=2, k=2, seed=s)[1])
+            for s in range(5)
+        )
+        many = sum(
+            len(nearly_maximal_is(g, iterations=40, k=2, seed=s)[1])
+            for s in range(5)
+        )
+        assert many <= few
+
+    def test_long_run_is_maximal_usually(self):
+        g = gnp_graph(30, 0.2, seed=3)
+        independent, residual, _ = nearly_maximal_is(
+            g, iterations=60, k=2, seed=4
+        )
+        assert not residual
+        check_independent_set(g, independent, require_maximal=True)
+
+    def test_rounds_are_two_per_iteration(self):
+        g = gnp_graph(20, 0.2, seed=5)
+        _, _, rounds = nearly_maximal_is(g, iterations=10, k=2, seed=6)
+        assert rounds <= 2 * 10 + 4
+
+    def test_k_must_be_at_least_two(self):
+        g = gnp_graph(5, 0.5, seed=0)
+        with pytest.raises(ValueError):
+            nearly_maximal_is(g, iterations=5, k=1.5)
+
+    def test_golden_round_stats_collected(self):
+        g = gnp_graph(25, 0.25, seed=7)
+        stats = GoldenRoundStats()
+        nearly_maximal_is(g, iterations=15, k=2, seed=8, stats=stats)
+        assert stats.type1 or stats.type2
+
+    def test_larger_k_changes_dynamics(self):
+        g = random_regular_graph(4, 40, seed=9)
+        a, _, _ = nearly_maximal_is(g, iterations=30, k=2, seed=10)
+        b, _, _ = nearly_maximal_is(g, iterations=30, k=4, seed=10)
+        check_independent_set(g, a)
+        check_independent_set(g, b)

@@ -1,0 +1,55 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import MATCHING_ALGORITHMS, MAXIS_ALGORITHMS, main
+
+
+class TestInfo:
+    def test_prints_inventory(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Algorithm 2" in out
+        assert "Theorem B.4" in out
+
+
+class TestMaxis:
+    @pytest.mark.parametrize("algorithm", MAXIS_ALGORITHMS)
+    def test_runs_and_reports_ratio(self, algorithm, capsys):
+        code = main(["maxis", "--algorithm", algorithm, "--nodes", "18",
+                     "--max-weight", "16", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ratio" in out
+        assert "rounds" in out
+
+    def test_skip_oracle(self, capsys):
+        main(["maxis", "--nodes", "18", "--skip-oracle"])
+        out = capsys.readouterr().out
+        assert "ratio" not in out
+
+
+class TestMatching:
+    @pytest.mark.parametrize("algorithm", MATCHING_ALGORITHMS)
+    def test_runs_each_algorithm(self, algorithm, capsys):
+        code = main(["matching", "--algorithm", algorithm, "--nodes",
+                     "16", "--seed", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rounds" in out
+
+    def test_export_csv(self, tmp_path, capsys):
+        out_file = tmp_path / "row.csv"
+        main(["matching", "--algorithm", "lines", "--nodes", "14",
+              "--export", str(out_file)])
+        assert out_file.exists()
+        assert "algorithm" in out_file.read_text()
+
+    def test_export_json(self, tmp_path, capsys):
+        out_file = tmp_path / "row.json"
+        main(["maxis", "--nodes", "12", "--export", str(out_file)])
+        assert out_file.exists()
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["matching", "--algorithm", "bogus"])

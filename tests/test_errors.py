@@ -1,0 +1,46 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AlgorithmContractViolation,
+    BandwidthViolation,
+    InvalidInstance,
+    ReproError,
+    RoundLimitExceeded,
+    SimulationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc_class", [
+        SimulationError, RoundLimitExceeded, BandwidthViolation,
+        InvalidInstance, AlgorithmContractViolation,
+    ])
+    def test_all_derive_from_repro_error(self, exc_class):
+        assert issubclass(exc_class, ReproError)
+
+    def test_simulation_family(self):
+        assert issubclass(RoundLimitExceeded, SimulationError)
+        assert issubclass(BandwidthViolation, SimulationError)
+
+
+class TestRoundLimitExceeded:
+    def test_carries_pending_nodes(self):
+        err = RoundLimitExceeded(10, pending=(1, 2, 3))
+        assert err.rounds == 10
+        assert err.pending == (1, 2, 3)
+        assert "3 nodes" in str(err)
+
+    def test_message_without_pending(self):
+        err = RoundLimitExceeded(5)
+        assert "5 rounds" in str(err)
+        assert "nodes" not in str(err)
+
+
+class TestBandwidthViolation:
+    def test_carries_route_and_sizes(self):
+        err = BandwidthViolation("u", "v", bits=100, bandwidth=64)
+        assert err.src == "u" and err.dst == "v"
+        assert err.bits == 100 and err.bandwidth == 64
+        assert "100 bits" in str(err)

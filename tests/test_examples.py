@@ -1,0 +1,41 @@
+"""Smoke tests: every example script runs end to end.
+
+The examples assert their own guarantees internally (e.g. the §1.1
+pitfall comparison), so executing ``main()`` is a real test.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart",
+    "sensor_scheduling",
+    "switch_scheduling",
+    "spectrum_pairing",
+    "figure1_walkthrough",
+])
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} should print a report"
+
+
+def test_examples_directory_complete():
+    scripts = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+    assert len(scripts) >= 5
+    assert "quickstart" in scripts
