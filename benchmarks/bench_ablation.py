@@ -1,144 +1,15 @@
 """Experiment ABL — ablations over the design choices DESIGN.md calls out.
 
-* ABL-a: the MIS black box (Theorem 2.3 parameterizes Algorithm 2 by
-  MIS(G)) — plain Luby vs. the [BEPS16]-style NMIS+Luby composite.
-* ABL-b: matching formulation — Algorithm 2 on L(G) (Thm 2.10) vs. the
-  footnote-5 weight-group formulation directly on G.
+* ABL-a: the MIS black box — plain Luby vs the [BEPS16]-style
+  NMIS+Luby composite.
+* ABL-b: matching formulation — Algorithm 2 on L(G) vs the footnote-5
+  weight-group formulation directly on G.
 * ABL-c: the big-bucket base β in the Appendix B.1 weighted pipeline.
 * ABL-d: the ε knob of the (1+ε) algorithm — approximation vs rounds.
 """
 
 from __future__ import annotations
 
-from repro.analysis import approximation_ratio, render_table, summarize
-from repro.core import (
-    fast_matching_weighted_2eps,
-    local_matching_1eps,
-    matching_local_ratio,
-    weight_group_matching,
-)
-from repro.graphs import (
-    assign_edge_weights,
-    gnp_graph,
-    random_regular_graph,
-)
-from repro.matching import optimum_cardinality, optimum_weight
-from repro.mis import luby_mis, nmis_plus_luby_mis
+from repro.experiments.bench import experiment_bench
 
-from _helpers import run_once
-
-
-class TestMisEngineAblation:
-    def test_luby_vs_composite(self, benchmark):
-        def collect():
-            rows = []
-            for degree in (4, 8, 16):
-                g = random_regular_graph(degree, 96, seed=1)
-                luby_rounds = []
-                composite_rounds = []
-                for seed in range(3):
-                    _, r1 = luby_mis(g, seed=seed)
-                    luby_rounds.append(r1)
-                    _, r2 = nmis_plus_luby_mis(g, seed=seed)
-                    composite_rounds.append(r2)
-                rows.append({
-                    "delta": degree,
-                    "luby_rounds": summarize(luby_rounds).mean,
-                    "nmis+luby_rounds": summarize(composite_rounds).mean,
-                })
-            return rows
-
-        rows = run_once(benchmark, collect)
-        print()
-        print(render_table(rows, title="ABL-a: MIS black box rounds "
-                                       "(n=96 regular)"))
-        # Both engines must stay well below the trivial n bound; the
-        # composite pays the NMIS stage up front so it can be slower on
-        # small graphs — the claim is comparability, not dominance.
-        for row in rows:
-            assert row["luby_rounds"] < 96
-            assert row["nmis+luby_rounds"] < 96
-
-
-class TestMatchingFormulationAblation:
-    def test_line_graph_vs_weight_groups(self, benchmark):
-        def collect():
-            rows = []
-            for seed in range(4):
-                g = assign_edge_weights(gnp_graph(22, 0.2, seed=seed), 64,
-                                        seed=seed + 1)
-                opt = optimum_weight(g)
-                via_lines = matching_local_ratio(g, method="layers",
-                                                 seed=seed)
-                direct = weight_group_matching(g, seed=seed)
-                rows.append({
-                    "seed": seed,
-                    "lines_ratio": approximation_ratio(opt,
-                                                       via_lines.weight),
-                    "lines_rounds": via_lines.rounds,
-                    "groups_ratio": approximation_ratio(opt,
-                                                        direct.weight),
-                    "groups_rounds": direct.rounds,
-                })
-            return rows
-
-        rows = run_once(benchmark, collect)
-        print()
-        print(render_table(rows, title="ABL-b: L(G) formulation vs "
-                                       "footnote-5 weight groups"))
-        for row in rows:
-            assert row["lines_ratio"] <= 2.0
-            assert row["groups_ratio"] <= 2.0
-
-
-class TestBucketBaseAblation:
-    def test_beta_sweep(self, benchmark):
-        def collect():
-            g = assign_edge_weights(gnp_graph(22, 0.2, seed=5), 256,
-                                    seed=6)
-            opt = optimum_weight(g)
-            rows = []
-            for beta_bucket in (4, 16, 64):
-                result = fast_matching_weighted_2eps(
-                    g, eps=0.5, beta_bucket=beta_bucket, seed=7,
-                )
-                rows.append({
-                    "beta": beta_bucket,
-                    "ratio": approximation_ratio(opt, result.weight),
-                    "rounds": result.rounds,
-                })
-            return rows
-
-        rows = run_once(benchmark, collect)
-        print()
-        print(render_table(rows, title="ABL-c: big-bucket base β in the "
-                                       "Appendix B.1 pipeline"))
-        for row in rows:
-            assert row["ratio"] <= 2.5
-
-
-class TestEpsilonAblation:
-    def test_eps_tradeoff(self, benchmark):
-        def collect():
-            g = gnp_graph(26, 0.18, seed=8)
-            opt = optimum_cardinality(g)
-            rows = []
-            for eps in (1.0, 0.5, 0.34):
-                result = local_matching_1eps(g, eps=eps, seed=9)
-                rows.append({
-                    "eps": eps,
-                    "found": result.cardinality,
-                    "opt": opt,
-                    "rounds": result.rounds,
-                })
-            return rows
-
-        rows = run_once(benchmark, collect)
-        print()
-        print(render_table(rows, title="ABL-d: ε vs quality/rounds for "
-                                       "the (1+ε) algorithm"))
-        # Tighter ε must not lose quality, and pays (weakly) more rounds.
-        found = [r["found"] for r in rows]
-        assert found == sorted(found)
-        for row in rows:
-            assert (1 + row["eps"]) * row["found"] >= row["opt"]
+test_ablation = experiment_bench("ablation")

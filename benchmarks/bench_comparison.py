@@ -1,122 +1,14 @@
 """Experiment CMP — ours vs. prior-art baselines (the §1.3 landscape).
 
-The paper positions its algorithms against maximal-matching/greedy
-baselines: weight-oblivious maximal matching can lose a factor W on
-weighted instances, while the local-ratio algorithms hold a factor 2;
-the fast algorithms trade a little approximation (2+ε) for exponentially
-better round scaling in Δ than O(log n)-round baselines.  This bench
-makes those comparisons concrete on a family sweep.
+Weight-oblivious maximal matching can lose a factor W on weighted
+instances while the local-ratio algorithms hold a factor 2; the fast
+algorithms trade a little approximation (2+ε) for exponentially better
+round scaling in Δ.  The ``comparison`` experiment makes both
+comparisons concrete on a graph-family sweep.
 """
 
 from __future__ import annotations
 
-from repro.analysis import approximation_ratio, render_table
-from repro.core import (
-    fast_matching_2eps,
-    fast_matching_weighted_2eps,
-    matching_local_ratio,
-)
-from repro.graphs import (
-    assign_edge_weights,
-    gnp_graph,
-    grid_graph,
-    power_law_graph,
-    random_regular_graph,
-)
-from repro.matching import (
-    greedy_weighted_matching,
-    israeli_itai_matching,
-    matching_weight,
-    optimum_cardinality,
-    optimum_weight,
-)
+from repro.experiments.bench import experiment_bench
 
-from _helpers import run_once
-
-
-def workloads():
-    yield "gnp", assign_edge_weights(gnp_graph(40, 0.1, seed=1), 64,
-                                     scheme="uniform", seed=2)
-    yield "regular6", assign_edge_weights(
-        random_regular_graph(6, 40, seed=3), 64, scheme="uniform", seed=4)
-    yield "grid", assign_edge_weights(grid_graph(6, 6), 64,
-                                      scheme="uniform", seed=5)
-    yield "powerlaw", assign_edge_weights(power_law_graph(40, seed=6), 64,
-                                          scheme="uniform", seed=7)
-    yield "bimodal", assign_edge_weights(gnp_graph(40, 0.1, seed=8), 512,
-                                         scheme="bimodal", seed=9)
-
-
-class TestWeightedComparison:
-    def test_weighted_ratio_table(self, benchmark):
-        rows = []
-        for name, g in workloads():
-            opt = optimum_weight(g)
-            local_ratio = matching_local_ratio(g, method="layers", seed=1)
-            fast = fast_matching_weighted_2eps(g, eps=0.5, seed=1)
-            maximal, _ = israeli_itai_matching(g, seed=1)
-            greedy = greedy_weighted_matching(g)
-            rows.append({
-                "family": name,
-                "lr2_ratio": approximation_ratio(opt, local_ratio.weight),
-                "fast2eps_ratio": approximation_ratio(opt, fast.weight),
-                "maximal_ratio": approximation_ratio(
-                    opt, matching_weight(g, maximal)),
-                "greedy_ratio": approximation_ratio(
-                    opt, matching_weight(g, greedy)),
-            })
-        print()
-        print(render_table(rows, title="CMP-a: weighted approximation "
-                                       "ratios (lower is better)"))
-        for row in rows:
-            assert row["lr2_ratio"] <= 2.0
-            assert row["fast2eps_ratio"] <= 2.5
-        # The separation workload: weight-oblivious maximal matching
-        # must lose to the weight-aware algorithms on bimodal weights.
-        bimodal = next(r for r in rows if r["family"] == "bimodal")
-        assert bimodal["maximal_ratio"] > bimodal["lr2_ratio"]
-
-        g = dict(workloads())["bimodal"]
-        run_once(benchmark,
-                 lambda: matching_local_ratio(g, method="layers", seed=1))
-
-    def test_round_scaling_comparison(self, benchmark):
-        """Fast (2+ε) rounds stay flat in n at fixed Δ; the (seed-mean)
-        rounds may wiggle but must not grow systematically."""
-
-        def collect():
-            rows = []
-            for n in (32, 64, 128, 256):
-                g = random_regular_graph(4, n, seed=10)
-                fast_rounds = []
-                ratios = []
-                for seed in (11, 12, 13):
-                    fast = fast_matching_2eps(g, eps=0.5, seed=seed)
-                    fast_rounds.append(fast.rounds)
-                    ratios.append(approximation_ratio(
-                        optimum_cardinality(g), len(fast.matching)))
-                maximal, ii_rounds = israeli_itai_matching(g, seed=11)
-                rows.append({
-                    "n": n,
-                    "fast_rounds": sum(fast_rounds) / len(fast_rounds),
-                    "israeli_itai_rounds": ii_rounds,
-                    "fast_ratio": max(ratios),
-                    "maximal_ratio": approximation_ratio(
-                        optimum_cardinality(g), len(maximal)),
-                })
-            return rows
-
-        rows = run_once(benchmark, collect)
-        print()
-        print(render_table(rows, title="CMP-b: rounds vs n at fixed Δ=4 "
-                                       "(the paper's point: Δ, not n, "
-                                       "governs the fast algorithms)"))
-        from repro.analysis import growth_exponent
-
-        # Fixed Δ: an 8x node-count increase must leave rounds nearly
-        # flat (n^0.3 over this range is a < 2x drift allowance).
-        exponent = growth_exponent([r["n"] for r in rows],
-                                   [r["fast_rounds"] for r in rows])
-        assert exponent < 0.3, f"rounds grow like n^{exponent:.2f}"
-        for row in rows:
-            assert row["fast_ratio"] <= 2.5
+test_comparison = experiment_bench("comparison")

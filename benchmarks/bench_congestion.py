@@ -1,79 +1,14 @@
 """Experiment FT28 — Theorem 2.8's congestion separation.
 
-A naive line-graph simulation routes each L(G)-message between primary
-endpoints, loading the busiest physical edge with Θ(Δ) messages per
-round.  The aggregation mechanism keeps every physical edge at 2
-messages per round.  We sweep Δ on stars and regular graphs, both
-analytically (one broadcast round) and measured on a full Algorithm 2
+A naive line-graph simulation loads the busiest physical edge with
+Θ(Δ) messages per round; the aggregation mechanism keeps every
+physical edge at 2.  The ``congestion`` experiment sweeps Δ on stars
+and regular graphs, analytically and measured on a full Algorithm 2
 execution over L(G).
 """
 
 from __future__ import annotations
 
-from repro.analysis import growth_exponent, render_table
-from repro.congest import CongestionAudit
-from repro.core import matching_local_ratio, theorem_2_8_simulation_cost
-from repro.graphs import assign_edge_weights, random_regular_graph, star_graph
+from repro.experiments.bench import experiment_bench
 
-from _helpers import run_once
-
-
-class TestCongestionSeparation:
-    def test_single_round_cost_sweep(self, benchmark):
-        rows = []
-        for degree in (4, 8, 16, 32, 64):
-            cost = theorem_2_8_simulation_cost(star_graph(degree))
-            rows.append({
-                "delta": degree,
-                "naive_max": cost.naive_max_load,
-                "aggregated_max": cost.aggregated_max_load,
-            })
-        print()
-        print(render_table(rows, title="FT28a: per-edge load of one "
-                                       "line-graph round on stars"))
-        exponent = growth_exponent([r["delta"] for r in rows],
-                                   [r["naive_max"] for r in rows])
-        assert exponent > 0.7, "naive load must grow ~linearly in Δ"
-        assert all(r["aggregated_max"] == 2 for r in rows)
-        run_once(benchmark,
-                 lambda: theorem_2_8_simulation_cost(star_graph(64)))
-
-    def test_regular_graph_cost(self, benchmark):
-        run_once(benchmark, lambda: None)
-        rows = []
-        for degree in (4, 8, 12):
-            g = random_regular_graph(degree, 48, seed=1)
-            cost = theorem_2_8_simulation_cost(g)
-            rows.append({
-                "delta": degree,
-                "naive_max": cost.naive_max_load,
-                "aggregated_max": cost.aggregated_max_load,
-                "naive_total": cost.naive_total,
-                "aggregated_total": cost.aggregated_total,
-            })
-        print()
-        print(render_table(rows, title="FT28b: per-edge load on random "
-                                       "regular graphs"))
-        for row in rows:
-            assert row["naive_max"] > row["aggregated_max"]
-
-    def test_full_algorithm_2_audit(self, benchmark):
-        run_once(benchmark, lambda: None)
-        """Audit a complete 2-approx MWM execution on L(G)."""
-
-        rows = []
-        for leaves in (6, 12, 18):
-            g = assign_edge_weights(star_graph(leaves), 16, seed=2)
-            audit = CongestionAudit()
-            matching_local_ratio(g, method="layers", seed=3, audit=audit)
-            rows.append({
-                "delta": leaves,
-                "naive_max": audit.max_naive_load(),
-                "aggregated_max": audit.max_aggregated_load(),
-            })
-        print()
-        print(render_table(rows, title="FT28c: measured audit over a "
-                                       "full Algorithm-2-on-L(G) run"))
-        loads = [r["naive_max"] for r in rows]
-        assert loads == sorted(loads)
-        assert all(r["aggregated_max"] == 2 for r in rows)
+test_congestion = experiment_bench("congestion")

@@ -1,116 +1,13 @@
 """Experiment F1 — reproduce Figure 1 (bipartite augmenting-path counts).
 
-Figure 1 of the paper illustrates the forward/backward traversal on a
-bipartite graph: black numbers are the per-node counts passed during the
-forward traversal (the number of shortest augmenting paths ending at
-each node), purple numbers are the backward shares (the number of paths
-through each node).  We rebuild a layered bipartite instance of the same
-flavor, run the Claim B.5/B.6 traversals, print both number sets, and
-verify them against brute-force path enumeration.
+The ``figure1`` experiment rebuilds a layered bipartite instance of
+the paper's Figure 1 flavor, runs the Claim B.5/B.6 forward/backward
+traversals, and verifies the per-node counts against brute-force path
+enumeration — on the curated instance and on random bipartite graphs.
 """
 
 from __future__ import annotations
 
-import networkx as nx
+from repro.experiments.bench import experiment_bench
 
-from repro.analysis import render_table
-from repro.core import BipartiteAugmentingPhase, enumerate_augmenting_paths
-from repro.graphs import random_bipartite_graph
-from repro.matching import bipartite_sides
-
-from _helpers import run_once
-
-
-def figure1_instance():
-    """A layered bipartite graph with a partial matching, mimicking the
-    paper's Figure 1: free A-nodes on the left, free B-nodes on the
-    right, three matched pairs in between, and multiple overlapping
-    length-3 augmenting paths whose counts the traversal aggregates."""
-
-    g = nx.Graph()
-    a_nodes = [f"a{i}" for i in range(5)]
-    b_nodes = [f"b{i}" for i in range(5)]
-    for a in a_nodes:
-        g.add_node(a, side="A")
-    for b in b_nodes:
-        g.add_node(b, side="B")
-    edges = [
-        # free A-nodes a0, a4 fan into the matched middle
-        ("a0", "b0"), ("a0", "b1"), ("a4", "b1"), ("a4", "b2"),
-        # matched pairs: (a1, b0), (a2, b1), (a3, b2)
-        ("a1", "b0"), ("a2", "b1"), ("a3", "b2"),
-        # matched A-nodes fan out to the free B-nodes b3, b4
-        ("a1", "b3"), ("a1", "b4"), ("a2", "b3"), ("a3", "b4"),
-    ]
-    g.add_edges_from(edges)
-    matching = {frozenset(("a1", "b0")), frozenset(("a2", "b1")),
-                frozenset(("a3", "b2"))}
-    return g, matching
-
-
-class TestFigure1:
-    def test_forward_counts_match_brute_force(self, benchmark):
-        g, matching = figure1_instance()
-        a_side, b_side = bipartite_sides(g)
-        phase = BipartiteAugmentingPhase(g, a_side, b_side, matching,
-                                         d=3, eps=0.5, seed=0)
-        counts, contrib, raw = run_once(
-            benchmark, lambda: phase._forward(phase.scope, use_alpha=False)
-        )
-        through = phase._backward(counts, contrib, raw)
-
-        paths = enumerate_augmenting_paths(g, matching, 3)
-        end_counts = {}
-        node_counts = {}
-        for p in paths:
-            end = p[-1] if p[-1] in b_side else p[0]
-            end_counts[end] = end_counts.get(end, 0) + 1
-            for v in p:
-                node_counts[v] = node_counts.get(v, 0) + 1
-
-        rows = [
-            {
-                "node": v,
-                "forward(B.5)": counts.get(v, 0.0),
-                "through(B.6)": through.get(v, 0.0),
-                "brute_force": node_counts.get(v, 0),
-            }
-            for v in sorted(g.nodes)
-        ]
-        print()
-        print(render_table(
-            rows,
-            title="Figure 1 (reproduced): augmenting-path counts via "
-                  "forward/backward traversal vs brute force",
-        ))
-        assert len(paths) >= 4, "the instance must have overlapping paths"
-        for b, count in end_counts.items():
-            assert counts.get(b, 0) == count
-        for v, count in node_counts.items():
-            assert abs(through.get(v, 0) - count) < 1e-9
-
-    def test_random_instances_figure1_property(self, benchmark):
-        """Claims B.5/B.6 hold on random bipartite graphs too."""
-
-        run_once(benchmark, lambda: None)
-        for seed in range(5):
-            g = random_bipartite_graph(6, 6, 0.4, seed=seed)
-            a_side, b_side = bipartite_sides(g)
-            # Greedy maximal matching so length-3 paths are the shortest.
-            matching, used = set(), set()
-            for u, v in sorted(g.edges, key=repr):
-                if u not in used and v not in used:
-                    matching.add(frozenset((u, v)))
-                    used |= {u, v}
-            phase = BipartiteAugmentingPhase(g, a_side, b_side, matching,
-                                             d=3, eps=0.5, seed=seed)
-            counts, contrib, raw = phase._forward(phase.scope,
-                                                  use_alpha=False)
-            through = phase._backward(counts, contrib, raw)
-            paths = enumerate_augmenting_paths(g, matching, 3)
-            node_counts = {}
-            for p in paths:
-                for v in p:
-                    node_counts[v] = node_counts.get(v, 0) + 1
-            for v, count in node_counts.items():
-                assert abs(through.get(v, 0) - count) < 1e-9
+test_figure1 = experiment_bench("figure1")

@@ -2,95 +2,12 @@
 
 Lemma A.1: after one MIS phase on the locally-top layer, every node of
 the top layer has its weight at least halved, so the top layer empties.
-On the serializing layered-chain workload the topmost occupied layer
-descends one step per selection phase, making the lemma's staircase
-visible; on sparse random graphs local parallelism collapses several
-layers per phase (the typical case).
+The ``layers`` experiment shows the staircase on serializing layered
+chains and the collapse on sparse random graphs.
 """
 
 from __future__ import annotations
 
-from repro.analysis import render_series, render_table
-from repro.core import LayerTrace, maxis_local_ratio_layers
-from repro.graphs import assign_node_weights, gnp_graph, layered_graph
+from repro.experiments.bench import experiment_bench
 
-from _helpers import run_once
-
-
-def layered_workload(layers: int, width: int = 5, seed: int = 1):
-    g = layered_graph(layers, width, seed=seed)
-    for v, data in g.nodes(data=True):
-        g.nodes[v]["weight"] = 2 ** data["layer"]
-    return g
-
-
-class TestLayerDynamics:
-    def test_top_layer_staircase(self, benchmark):
-        g = layered_workload(layers=11)
-        trace = LayerTrace()
-        run_once(benchmark,
-                 lambda: maxis_local_ratio_layers(g, seed=3, trace=trace))
-        series = trace.top_layer_series()
-        print()
-        print(render_series(list(range(len(series))), series,
-                            x_label="phase", y_label="top_layer",
-                            title="FLA1a: topmost occupied layer per "
-                                  "selection phase (layered chain, "
-                                  "W=1024)"))
-        assert all(b <= a for a, b in zip(series, series[1:]))
-        assert series[0] == max(series)
-        # The staircase: every occupied layer appears as a step.
-        drops = sum(1 for a, b in zip(series, series[1:]) if b < a)
-        assert drops >= len(series) // 2 - 1
-
-    def test_drop_count_scales_with_log_w(self, benchmark):
-        def collect():
-            rows = []
-            for layers in (3, 7, 11):
-                g = layered_workload(layers=layers)
-                trace = LayerTrace()
-                maxis_local_ratio_layers(g, seed=6, trace=trace)
-                series = trace.top_layer_series()
-                drops = sum(
-                    1 for a, b in zip(series, series[1:]) if b < a
-                )
-                rows.append({
-                    "W": 2 ** (layers - 1),
-                    "log2W": layers - 1,
-                    "initial_top": series[0] if series else 0,
-                    "layer_drops": drops,
-                    "phases": len(series),
-                })
-            return rows
-
-        rows = run_once(benchmark, collect)
-        print()
-        print(render_table(rows, title="FLA1b: layer drops vs log W "
-                                       "(layered chain)"))
-        # Lemma A.1: the top layer can drop at most log W + 1 times, and
-        # on the serializing chain it actually uses most of that budget.
-        for row in rows:
-            assert row["layer_drops"] <= row["log2W"] + 1
-        drops = [r["layer_drops"] for r in rows]
-        assert drops == sorted(drops)
-        assert drops[-1] > drops[0]
-
-    def test_typical_case_collapses_layers(self, benchmark):
-        """Sparse random graphs: local parallelism empties several
-        layers per phase, so the staircase is much shorter."""
-
-        def collect():
-            g = assign_node_weights(gnp_graph(80, 0.06, seed=1), 1024,
-                                    scheme="log-uniform", seed=2)
-            trace = LayerTrace()
-            maxis_local_ratio_layers(g, seed=3, trace=trace)
-            return trace.top_layer_series()
-
-        series = run_once(benchmark, collect)
-        print()
-        print(render_series(list(range(len(series))), series,
-                            x_label="phase", y_label="top_layer",
-                            title="FLA1c: typical case (sparse G(n,p), "
-                                  "W=1024)"))
-        assert all(b <= a for a, b in zip(series, series[1:]))
-        assert len(series) <= 11  # far fewer phases than layers
+test_layers = experiment_bench("layers")

@@ -1,111 +1,13 @@
 """Experiment FT31 — Theorem 3.1's residual decay.
 
-The theorem says: after β(log Δ/log K + K² log 1/δ) iterations, each
-node fails to be covered (in or dominated) with probability ≤ δ.  We
-measure the undecided-node fraction as a function of the iteration
-budget for several update factors K and check:
-
-* the fraction decays geometrically in the budget,
-* larger K reaches low residual mass in fewer iterations on the
-  log Δ/log K leg (the Section 3.1 improvement), while the K² log(1/δ)
-  tail is the price.
+After β(log Δ/log K + K² log 1/δ) iterations each node fails to be
+covered with probability ≤ δ.  The ``nmis_decay`` experiment measures
+the undecided-node fraction against the iteration budget for several
+update factors K, golden-round occurrence, and the analytic budget.
 """
 
 from __future__ import annotations
 
-from repro.analysis import render_series, render_table
-from repro.core import residual_decay_series, theorem_3_1_budget
-from repro.graphs import random_regular_graph
+from repro.experiments.bench import experiment_bench
 
-from _helpers import run_once
-
-
-class TestResidualDecay:
-    def test_decay_curve(self, benchmark):
-        g = random_regular_graph(8, 120, seed=1)
-        series = run_once(
-            benchmark,
-            lambda: residual_decay_series(g, k=2, max_iterations=14,
-                                          seeds=range(4)),
-        )
-        print()
-        print(render_series(list(range(1, len(series) + 1)), series,
-                            x_label="iters", y_label="residual",
-                            title="FT31a: undecided fraction vs budget "
-                                  "(K=2, Δ=8, n=120)"))
-        assert series[0] > series[-1]
-        assert series[-1] <= 0.05
-        # Geometric-ish decay: the tail is below half the head quickly.
-        midpoint = series[len(series) // 2]
-        assert midpoint <= series[0]
-
-    def test_k_sweep(self, benchmark):
-        g = random_regular_graph(8, 120, seed=2)
-        run_once(benchmark, lambda: None)
-        rows = []
-        for k in (2, 3, 4):
-            series = residual_decay_series(g, k=k, max_iterations=10,
-                                           seeds=range(3))
-            rows.append({
-                "K": k,
-                "resid@3": series[2],
-                "resid@6": series[5],
-                "resid@10": series[9],
-            })
-        print()
-        print(render_table(rows, title="FT31b: residual fraction by "
-                                       "update factor K"))
-        for row in rows:
-            assert row["resid@10"] <= row["resid@3"] + 1e-9
-
-    def test_golden_round_structure(self, benchmark):
-        """Lemma B.1/B.2: nodes that survive accumulate golden rounds —
-        type 1 (low effective degree at full probability, the node
-        itself is likely to join) or type 2 (light neighbors carry
-        enough mass, a neighbor is likely to join).  We measure how
-        many nodes see each type during a run."""
-
-        from repro.graphs import gnp_graph
-        from repro.mis import GoldenRoundStats, nearly_maximal_is
-
-        def collect():
-            g = gnp_graph(120, 0.06, seed=5)
-            stats = GoldenRoundStats()
-            nearly_maximal_is(g, iterations=25, k=2, seed=6, stats=stats)
-            return stats
-
-        stats = run_once(benchmark, collect)
-        type1_nodes = len(stats.type1)
-        type2_nodes = len(stats.type2)
-        type1_total = sum(stats.type1.values())
-        type2_total = sum(stats.type2.values())
-        print(f"\nFT31d: golden rounds — type1: {type1_nodes} nodes / "
-              f"{type1_total} rounds, type2: {type2_nodes} nodes / "
-              f"{type2_total} rounds")
-        # Lemma B.1's dichotomy: golden rounds must actually occur.
-        assert type1_total + type2_total > 0
-        assert type1_nodes > 0
-
-    def test_theorem_budget_suffices(self, benchmark):
-        """Running for the Theorem 3.1 budget leaves ≈ δ residuals."""
-
-        g = random_regular_graph(6, 100, seed=3)
-        delta_failure = 0.05
-        budget = theorem_3_1_budget(6, 2.0, delta_failure)
-        from repro.mis import nearly_maximal_is
-
-        def collect():
-            total_nodes = 0
-            residuals = 0
-            for seed in range(5):
-                _, residual, _ = nearly_maximal_is(
-                    g, iterations=budget, k=2, seed=seed,
-                )
-                residuals += len(residual)
-                total_nodes += g.number_of_nodes()
-            return residuals / total_nodes
-
-        rate = run_once(benchmark, collect)
-        print(f"\nFT31c: budget={budget} iterations, measured residual "
-              f"rate={rate:.4f} (δ={delta_failure})")
-        assert rate <= 2 * delta_failure
+test_nmis_decay = experiment_bench("nmis_decay")

@@ -1,93 +1,14 @@
 """Experiment FB13 — the Appendix B.4 proposal algorithm.
 
-Lemma B.13: after O(K log 1/ε + log Δ / log K) phases each left node is
-matched/isolated except with probability ≤ ε/2.  We measure the unlucky
-fraction against the phase budget, sweep K, and validate the Lemma B.14
-general-graph wrapper's (2+ε) guarantee.
+Lemma B.13: after O(K log 1/ε + log Δ / log K) phases each left node
+is matched/isolated except with probability ≤ ε/2.  The ``proposal``
+experiment measures the unlucky fraction against the phase budget,
+sweeps K analytically, and validates the Lemma B.14 general-graph
+wrapper's (2+ε) guarantee.
 """
 
 from __future__ import annotations
 
-from repro.analysis import render_table
-from repro.core import (
-    bipartite_proposal_matching,
-    general_proposal_matching,
-    lemma_b13_rounds,
-    optimal_k,
-)
-from repro.graphs import bipartite_regular_graph, gnp_graph
-from repro.matching import bipartite_sides, optimum_cardinality
+from repro.experiments.bench import experiment_bench
 
-from _helpers import run_once
-
-
-class TestProposalBipartite:
-    def test_unlucky_fraction_vs_phases(self, benchmark):
-        g = bipartite_regular_graph(40, 5, seed=1)
-        left, right = bipartite_sides(g)
-        rows = []
-        for phases in (1, 2, 4, 8, 16):
-            unlucky = 0
-            for seed in range(4):
-                result = bipartite_proposal_matching(
-                    g, left, right, seed=seed, phases=phases,
-                )
-                unlucky += len(result.unlucky & left)
-            rows.append({
-                "phases": phases,
-                "unlucky_rate": unlucky / (4 * len(left)),
-            })
-        print()
-        print(render_table(rows, title="FB13a: unlucky left-node rate "
-                                       "vs phase budget (Δ=5)"))
-        rates = [r["unlucky_rate"] for r in rows]
-        assert rates[-1] <= rates[0]
-        assert rates[-1] <= 0.05
-        run_once(benchmark, lambda: bipartite_proposal_matching(
-            g, left, right, seed=0, phases=8))
-
-    def test_k_tradeoff(self, benchmark):
-        run_once(benchmark, lambda: None)
-        """Lemma B.13's K trade-off: the analytic budget is minimized at
-        the optimized K."""
-
-        eps = 0.25
-        rows = []
-        for delta in (8, 64, 1024, 2**15):
-            k_star = optimal_k(delta, eps)
-            rows.append({
-                "delta": delta,
-                "k_star": k_star,
-                "budget_k2": lemma_b13_rounds(delta, eps, 2),
-                "budget_kstar": lemma_b13_rounds(delta, eps, k_star),
-            })
-        print()
-        print(render_table(rows, title="FB13b: analytic phase budget, "
-                                       "K=2 vs optimized K"))
-        for row in rows:
-            assert row["budget_kstar"] <= row["budget_k2"]
-
-
-class TestProposalGeneral:
-    def test_lemma_b14_guarantee(self, benchmark):
-        eps = 0.5
-        rows = []
-        for seed in range(4):
-            g = gnp_graph(60, 0.08, seed=seed)
-            matching, rounds, _ = general_proposal_matching(
-                g, eps=eps, seed=seed,
-            )
-            opt = optimum_cardinality(g)
-            rows.append({
-                "seed": seed,
-                "found": len(matching),
-                "opt": opt,
-                "rounds": rounds,
-                "ok": (2 + eps) * len(matching) >= opt,
-            })
-        print()
-        print(render_table(rows, title=f"FB14: general proposal "
-                                       f"matching, ε={eps} (bound 2+ε)"))
-        assert sum(1 for r in rows if r["ok"]) >= 3
-        run_once(benchmark, lambda: general_proposal_matching(
-            gnp_graph(60, 0.08, seed=0), eps=eps, seed=0))
+test_proposal = experiment_bench("proposal")

@@ -1,428 +1,16 @@
 """Experiment T1.* — regenerate Table 1 (the paper's results table).
 
 Each row of Table 1 is an algorithm with an approximation factor and a
-round complexity.  For every row we measure, on concrete workloads:
-
-* the approximation factor achieved (validated against exact oracles),
-* the measured round count and how it scales with the parameter the
-  paper's bound names (log W, Δ, log Δ).
-
-Round bounds are worst-case: typical sparse instances finish much
-faster because eligibility is local, so the scaling rows use the
-*serializing* workloads (layered chains for the log W factor, cliques
-with color-descending weights for the Δ factor) alongside typical-case
-tables.  Absolute constants are simulator-specific; the growth shapes
-and the guarantees are the reproduction targets.
+round complexity.  The ``table1`` experiment in
+:mod:`repro.experiments.catalog` measures, for every row, the
+approximation factor achieved (validated against exact oracles) and
+the measured round count's scaling in the parameter the paper's bound
+names (log W, Δ, log Δ) — on both serializing worst-case workloads and
+typical sparse instances.
 """
 
 from __future__ import annotations
 
-import pytest
+from repro.experiments.bench import experiment_bench
 
-from repro.analysis import (
-    approximation_ratio,
-    growth_exponent,
-    pearson,
-    render_table,
-    summarize,
-)
-from repro.core import (
-    congest_matching_1eps,
-    fast_matching_2eps,
-    fast_matching_weighted_2eps,
-    local_matching_1eps,
-    matching_local_ratio,
-    maxis_local_ratio_coloring,
-    maxis_local_ratio_layers,
-)
-from repro.graphs import (
-    assign_edge_weights,
-    assign_node_weights,
-    complete_graph,
-    gnp_graph,
-    layered_graph,
-    max_degree,
-    random_regular_graph,
-)
-from repro.matching import optimum_cardinality, optimum_weight
-from repro.mis import delta_plus_one_coloring, exact_mwis, mwis_weight
-
-from _helpers import run_once
-
-
-class TestRow1MaxISLayers:
-    """Row 1: MaxIS Δ-approx in O(MIS(G) · log W) rounds, randomized."""
-
-    def test_row1_rounds_scale_with_log_w(self, benchmark):
-        def collect():
-            rows = []
-            for layers in (2, 4, 8, 12, 16):
-                g = layered_graph(layers, 6, seed=1)
-                for v, data in g.nodes(data=True):
-                    g.nodes[v]["weight"] = 2 ** data["layer"]
-                rounds = [
-                    maxis_local_ratio_layers(g, seed=s).rounds
-                    for s in range(3)
-                ]
-                rows.append({
-                    "W": 2 ** (layers - 1),
-                    "log2W": layers - 1,
-                    "rounds": summarize(rounds).mean,
-                })
-            return rows
-
-        rows = run_once(benchmark, collect)
-        print()
-        print(render_table(rows, title="T1.1a: Algorithm 2 rounds vs W "
-                                       "(serializing layered chain)"))
-        # Shape: rounds track log W linearly, i.e. far sublinear in W.
-        correlation = pearson([r["log2W"] for r in rows],
-                              [r["rounds"] for r in rows])
-        exponent = growth_exponent([r["W"] for r in rows],
-                                   [r["rounds"] for r in rows])
-        assert correlation > 0.95, "rounds must track log W"
-        assert exponent < 0.4, f"rounds grow like W^{exponent:.2f}"
-        assert rows[-1]["rounds"] > rows[0]["rounds"]
-
-    def test_row1_typical_case_parallelism(self, benchmark):
-        """On sparse random graphs local eligibility lets many layers
-        progress at once — rounds stay nearly flat in W (and this is a
-        feature, not a bug: Theorem 2.3 is a worst-case bound)."""
-
-        def collect():
-            topology = gnp_graph(96, 0.05, seed=1)
-            rows = []
-            for w in (1, 16, 256, 4096):
-                g = assign_node_weights(topology.copy(), w,
-                                        scheme="log-uniform", seed=2)
-                rounds = [
-                    maxis_local_ratio_layers(g, seed=s).rounds
-                    for s in range(3)
-                ]
-                rows.append({"W": w, "rounds": summarize(rounds).mean})
-            return rows
-
-        rows = run_once(benchmark, collect)
-        print()
-        print(render_table(rows, title="T1.1b: Algorithm 2 rounds vs W "
-                                       "(typical sparse G(n,p))"))
-        assert max(r["rounds"] for r in rows) <= 4 * max(
-            1, rows[0]["rounds"]
-        )
-
-    def test_row1_rounds_scale_gently_with_n(self, benchmark):
-        def collect():
-            rows = []
-            for n in (32, 64, 128, 256, 512):
-                g = assign_node_weights(
-                    gnp_graph(n, min(0.9, 6.0 / n), seed=3), 64,
-                    scheme="log-uniform", seed=4,
-                )
-                rounds = [
-                    maxis_local_ratio_layers(g, seed=s).rounds
-                    for s in range(3)
-                ]
-                rows.append({"n": n, "rounds": summarize(rounds).mean})
-            return rows
-
-        rows = run_once(benchmark, collect)
-        print()
-        print(render_table(rows, title="T1.1c: Algorithm 2 rounds vs n "
-                                       "(W=64, sparse G(n,p))"))
-        exponent = growth_exponent([r["n"] for r in rows],
-                                   [r["rounds"] for r in rows])
-        assert exponent < 0.5, (
-            f"rounds grow like n^{exponent:.2f}; expected logarithmic"
-        )
-
-    def test_row1_delta_approximation_holds(self, benchmark):
-        def collect():
-            rows = []
-            for seed in range(6):
-                g = assign_node_weights(gnp_graph(18, 0.25, seed=seed),
-                                        64, seed=seed)
-                optimum = mwis_weight(g, exact_mwis(g))
-                found = maxis_local_ratio_layers(g, seed=seed).weight
-                rows.append({
-                    "seed": seed, "delta": max_degree(g),
-                    "ratio": approximation_ratio(optimum, found),
-                })
-            return rows
-
-        rows = run_once(benchmark, collect)
-        print()
-        print(render_table(rows, title="T1.1d: Algorithm 2 approximation "
-                                       "ratio vs exact MWIS (bound: Δ)"))
-        for row in rows:
-            assert row["ratio"] <= row["delta"]
-
-
-class TestRow2MaxISColoring:
-    """Row 2: MaxIS Δ-approx in O(Δ + log* n) rounds, deterministic."""
-
-    def test_row2_rounds_scale_with_delta(self, benchmark):
-        def collect():
-            rows = []
-            for degree in (3, 5, 8, 12, 16):
-                g = complete_graph(degree + 1)
-                coloring = delta_plus_one_coloring(g)
-                for v in g.nodes:
-                    g.nodes[v]["weight"] = 2 ** (
-                        coloring.palette - coloring.colors[v]
-                    )
-                result = maxis_local_ratio_coloring(g, coloring=coloring)
-                rows.append({
-                    "delta": degree,
-                    "lr_rounds": result.local_ratio_rounds,
-                    "accounted": result.accounted_rounds,
-                })
-            return rows
-
-        rows = run_once(benchmark, collect)
-        print()
-        print(render_table(rows, title="T1.2a: Algorithm 3 rounds vs Δ "
-                                       "(serializing clique workload)"))
-        correlation = pearson([r["delta"] for r in rows],
-                              [r["lr_rounds"] for r in rows])
-        assert correlation > 0.95, "removal rounds must track Δ linearly"
-        # The serializing clique realizes exactly Δ+1 removal sweeps.
-        for row in rows:
-            assert row["lr_rounds"] <= 2 * (row["delta"] + 1)
-
-    def test_row2_typical_case(self, benchmark):
-        def collect():
-            rows = []
-            for degree in (3, 5, 8, 12, 16):
-                g = assign_node_weights(
-                    random_regular_graph(degree, 60, seed=5), 32, seed=6,
-                )
-                result = maxis_local_ratio_coloring(g)
-                rows.append({
-                    "delta": degree,
-                    "lr_rounds": result.local_ratio_rounds,
-                    "accounted": result.accounted_rounds,
-                })
-            return rows
-
-        rows = run_once(benchmark, collect)
-        print()
-        print(render_table(rows, title="T1.2b: Algorithm 3 rounds vs Δ "
-                                       "(typical random regular)"))
-        for row in rows:
-            assert row["lr_rounds"] <= row["accounted"]
-
-    def test_row2_deterministic_and_delta_approx(self, benchmark):
-        def collect():
-            rows = []
-            for seed in range(5):
-                g = assign_node_weights(gnp_graph(16, 0.3, seed=seed), 32,
-                                        seed=seed + 1)
-                first = maxis_local_ratio_coloring(g)
-                second = maxis_local_ratio_coloring(g)
-                assert first.independent_set == second.independent_set
-                optimum = mwis_weight(g, exact_mwis(g))
-                rows.append({
-                    "seed": seed, "delta": max_degree(g),
-                    "ratio": approximation_ratio(optimum, first.weight),
-                })
-            return rows
-
-        rows = run_once(benchmark, collect)
-        print()
-        print(render_table(rows, title="T1.2c: Algorithm 3 determinism + "
-                                       "ratio (bound: Δ)"))
-        for row in rows:
-            assert row["ratio"] <= row["delta"]
-
-
-class TestRow12Matching:
-    """Rows 1–2 matching column: MWM 2-approx via the line graph."""
-
-    @pytest.mark.parametrize("method", ["layers", "coloring"])
-    def test_mwm_2approx(self, benchmark, method):
-        def collect():
-            rows = []
-            for seed in range(4):
-                g = assign_edge_weights(gnp_graph(24, 0.15, seed=seed),
-                                        64, seed=seed + 1)
-                result = matching_local_ratio(g, method=method, seed=seed)
-                rows.append({
-                    "seed": seed,
-                    "ratio": approximation_ratio(optimum_weight(g),
-                                                 result.weight),
-                    "rounds": result.rounds,
-                })
-            return rows
-
-        rows = run_once(benchmark, collect)
-        print()
-        print(render_table(
-            rows, title=f"T1.3({method}): MWM 2-approx on L(G) "
-                        "(bound: 2)"))
-        for row in rows:
-            assert row["ratio"] <= 2.0
-
-
-class TestRow3FastWeighted:
-    """Row 3: MWM (2+ε)-approx in O(log Δ / log log Δ) rounds."""
-
-    def test_row3_guarantee_and_rounds(self, benchmark):
-        eps = 0.5
-
-        def collect():
-            rows = []
-            for seed in range(4):
-                g = assign_edge_weights(gnp_graph(22, 0.2, seed=seed), 32,
-                                        seed=seed + 1)
-                result = fast_matching_weighted_2eps(g, eps=eps, seed=seed)
-                rows.append({
-                    "seed": seed,
-                    "ratio": approximation_ratio(optimum_weight(g),
-                                                 result.weight),
-                    "rounds": result.rounds,
-                })
-            return rows
-
-        rows = run_once(benchmark, collect)
-        print()
-        print(render_table(rows, title=f"T1.4a: (2+ε) MWM, ε={eps} "
-                                       f"(bound: {2 + eps})"))
-        for row in rows:
-            assert row["ratio"] <= 2 + eps
-
-    def test_row3_nmis_rounds_flatten_with_k(self, benchmark):
-        """The Section 3.1 improvement: the log Δ/log K term flattens
-        as K grows (the K² log 1/δ term is the price)."""
-
-        def collect():
-            rows = []
-            for degree in (4, 8, 16, 24):
-                g = random_regular_graph(degree, 72, seed=7)
-                by_k = {}
-                for k in (2, 3, 4):
-                    result = fast_matching_2eps(g, eps=0.5, seed=8, k=k)
-                    by_k[f"rounds_k{k}"] = result.rounds
-                rows.append({"delta": degree, **by_k})
-            return rows
-
-        rows = run_once(benchmark, collect)
-        print()
-        print(render_table(rows, title="T1.4b: (2+ε) MCM rounds vs Δ "
-                                       "for update factors K"))
-        for k in (2, 3, 4):
-            exponent = growth_exponent(
-                [r["delta"] for r in rows],
-                [r[f"rounds_k{k}"] for r in rows],
-            )
-            assert exponent < 0.8, (
-                f"K={k}: rounds grow like Δ^{exponent:.2f}"
-            )
-
-
-class TestRow4OneEps:
-    """Row 4: MCM (1+ε)-approx in O(log Δ / log log Δ) rounds."""
-
-    def test_row4_local_guarantee(self, benchmark):
-        eps = 0.5
-
-        def collect():
-            rows = []
-            for seed in range(4):
-                g = gnp_graph(26, 0.18, seed=seed)
-                result = local_matching_1eps(g, eps=eps, seed=seed)
-                rows.append({
-                    "seed": seed,
-                    "found": result.cardinality,
-                    "opt": optimum_cardinality(g),
-                    "deactivated": len(result.deactivated),
-                    "rounds": result.rounds,
-                })
-            return rows
-
-        rows = run_once(benchmark, collect)
-        print()
-        print(render_table(rows, title=f"T1.5a: (1+ε) MCM LOCAL, ε={eps}"))
-        for row in rows:
-            effective = row["found"] + row["deactivated"]
-            assert (1 + eps) * effective >= row["opt"]
-
-    def test_row4_congest_guarantee(self, benchmark):
-        eps = 0.5
-
-        def collect():
-            rows = []
-            for seed in range(3):
-                g = gnp_graph(20, 0.2, seed=seed)
-                result = congest_matching_1eps(g, eps=eps, seed=seed)
-                rows.append({
-                    "seed": seed,
-                    "found": result.cardinality,
-                    "opt": optimum_cardinality(g),
-                    "deactivated": len(result.deactivated),
-                    "stages": result.stages,
-                    "rounds": result.rounds,
-                })
-            return rows
-
-        rows = run_once(benchmark, collect)
-        print()
-        print(render_table(rows,
-                           title=f"T1.5b: (1+ε) MCM CONGEST, ε={eps}"))
-        for row in rows:
-            effective = row["found"] + row["deactivated"]
-            assert (1 + eps) * effective >= row["opt"]
-
-
-class TestTable1Summary:
-    def test_print_table1(self, benchmark):
-        """The regenerated Table 1: measured counterparts of each row."""
-
-        def collect():
-            g_is = assign_node_weights(gnp_graph(18, 0.25, seed=1), 64,
-                                       seed=2)
-            opt_is = mwis_weight(g_is, exact_mwis(g_is))
-            g_m = assign_edge_weights(gnp_graph(18, 0.25, seed=1), 64,
-                                      seed=2)
-            opt_w = optimum_weight(g_m)
-            opt_c = optimum_cardinality(g_m)
-
-            alg2 = maxis_local_ratio_layers(g_is, seed=3)
-            alg3 = maxis_local_ratio_coloring(g_is)
-            mwm2 = matching_local_ratio(g_m, method="layers", seed=3)
-            fast_w = fast_matching_weighted_2eps(g_m, eps=0.5, seed=3)
-            one_eps = local_matching_1eps(g_m, eps=0.5, seed=3)
-
-            return [
-                {"row": "MaxIS Δ rand (Alg.2)",
-                 "bound": max_degree(g_is),
-                 "measured_ratio": approximation_ratio(opt_is,
-                                                       alg2.weight),
-                 "rounds": alg2.rounds},
-                {"row": "MaxIS Δ det (Alg.3)",
-                 "bound": max_degree(g_is),
-                 "measured_ratio": approximation_ratio(opt_is,
-                                                       alg3.weight),
-                 "rounds": alg3.accounted_rounds},
-                {"row": "MWM 2 (line graph)",
-                 "bound": 2,
-                 "measured_ratio": approximation_ratio(opt_w, mwm2.weight),
-                 "rounds": mwm2.rounds},
-                {"row": "MWM 2+eps (Thm 3.2/B.1)",
-                 "bound": 2.5,
-                 "measured_ratio": approximation_ratio(opt_w,
-                                                       fast_w.weight),
-                 "rounds": fast_w.rounds},
-                {"row": "MCM 1+eps (Thm B.4)",
-                 "bound": 1.5,
-                 "measured_ratio": approximation_ratio(
-                     opt_c,
-                     one_eps.cardinality + len(one_eps.deactivated)),
-                 "rounds": one_eps.rounds},
-            ]
-
-        rows = run_once(benchmark, collect)
-        print()
-        print(render_table(rows, title="Table 1 (regenerated, n=18 "
-                                       "workload): bound vs measured"))
-        for row in rows:
-            assert row["measured_ratio"] <= row["bound"] + 1e-9
+test_table1 = experiment_bench("table1")

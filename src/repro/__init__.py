@@ -11,6 +11,9 @@ Subpackages
 ``repro.core``      — the paper's algorithms (Algorithms 1–3, Theorems
                       2.8–2.10, 3.1–3.2, B.4, B.12, Lemmas B.13–B.14).
 ``repro.analysis``  — experiment statistics, tables and series builders.
+``repro.experiments`` — experiment registry, deterministic runner and
+                      versioned ``BENCH_*.json`` artifacts (imported
+                      lazily; see ``python -m repro bench --list``).
 
 Quickstart::
 

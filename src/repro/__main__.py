@@ -4,6 +4,7 @@ Commands
 --------
 ``maxis``     run a MaxIS algorithm on a generated workload
 ``matching``  run a matching algorithm on a generated workload
+``bench``     run a registered experiment and emit a JSON artifact
 ``info``      print the library's algorithm inventory
 
 Examples::
@@ -11,6 +12,10 @@ Examples::
     python -m repro maxis --algorithm layers --nodes 60 --max-weight 64
     python -m repro matching --algorithm fast2eps --nodes 40 --eps 0.5
     python -m repro matching --algorithm oneeps --nodes 30 --export out.csv
+    python -m repro bench --list
+    python -m repro bench smoke --json -
+    python -m repro bench table1 --section t1_1a --output out/table1.json
+    python -m repro bench --validate BENCH_smoke.json
 """
 
 from __future__ import annotations
@@ -19,7 +24,12 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .analysis import approximation_ratio, render_table, write_rows
+from .analysis import (
+    approximation_ratio,
+    render_artifact,
+    render_table,
+    write_rows,
+)
 from .core import (
     fast_matching_2eps,
     fast_matching_weighted_2eps,
@@ -76,6 +86,36 @@ def build_parser() -> argparse.ArgumentParser:
                           default="lines")
     matching.add_argument("--eps", type=float, default=0.5)
     common(matching)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run a registered experiment and emit a BENCH_<name>.json "
+             "artifact",
+    )
+    bench.add_argument("experiment", nargs="?", default=None,
+                       help="experiment name (see --list)")
+    bench.add_argument("--list", action="store_true", dest="list_specs",
+                       help="list registered experiments and exit")
+    bench.add_argument("--section", action="append", default=None,
+                       help="run only this section (repeatable)")
+    bench.add_argument("--json", dest="json_out", default=None,
+                       metavar="PATH",
+                       help="write the JSON artifact to PATH; '-' emits "
+                            "pure JSON on stdout and suppresses the "
+                            "rendered tables")
+    bench.add_argument("--output", default=None, metavar="PATH",
+                       help="artifact path (default BENCH_<name>.json; "
+                            "alias of --json PATH, pass only one)")
+    bench.add_argument("--no-artifact", action="store_true",
+                       help="do not write any artifact file")
+    bench.add_argument("--timing", action="store_true",
+                       help="include wall-clock timing in the artifact "
+                            "(breaks byte-determinism; off by default)")
+    bench.add_argument("--validate", default=None, metavar="FILE",
+                       help="validate an existing artifact file and exit")
+    bench.add_argument("--render", default=None, metavar="FILE",
+                       help="render an existing artifact file as tables "
+                            "and exit (no experiment is run)")
 
     sub.add_parser("info", help="print the algorithm inventory")
     return parser
@@ -175,6 +215,83 @@ def _run_matching(args: argparse.Namespace) -> dict:
     return row
 
 
+def _run_bench(args: argparse.Namespace) -> int:
+    from .experiments import (
+        Runner,
+        artifact_to_json,
+        get_experiment,
+        list_experiments,
+        load_artifact,
+        validate_artifact,
+        write_artifact,
+    )
+
+    if args.validate is not None or args.render is not None:
+        path = args.validate if args.validate is not None else args.render
+        try:
+            artifact = load_artifact(path)
+        except (OSError, ValueError) as exc:
+            print(f"bench: cannot read artifact {path!r}: {exc}",
+                  file=sys.stderr)
+            return 1
+        if args.render is not None:
+            print(render_artifact(artifact))
+            return 0
+        problems = validate_artifact(artifact)
+        if problems:
+            for problem in problems:
+                print(f"invalid: {problem}", file=sys.stderr)
+            return 1
+        print(f"{args.validate}: valid artifact")
+        return 0
+
+    if args.list_specs:
+        rows = [
+            {
+                "experiment": spec.name,
+                "sections": len(spec.sections),
+                "tags": ",".join(spec.tags),
+                "title": spec.title,
+            }
+            for spec in list_experiments()
+        ]
+        print(render_table(rows, title="registered experiments"))
+        return 0
+
+    if args.experiment is None:
+        print("bench: name an experiment or pass --list / --validate",
+              file=sys.stderr)
+        return 2
+
+    from .experiments import UnknownExperiment
+
+    try:
+        spec = get_experiment(args.experiment)
+        for name in args.section or ():
+            spec.section(name)  # validate names before running anything
+    except (UnknownExperiment, KeyError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"bench: {message}", file=sys.stderr)
+        return 2
+
+    if args.json_out not in (None, "-") and args.output is not None:
+        print("bench: pass either --json PATH or --output PATH, not both",
+              file=sys.stderr)
+        return 2
+
+    artifact = Runner(spec, timing=args.timing).run(args.section)
+
+    if args.json_out == "-":
+        print(artifact_to_json(artifact), end="")
+        return 0 if artifact["summary"]["passed"] else 1
+
+    print(render_artifact(artifact))
+    if not args.no_artifact:
+        path = write_artifact(artifact, args.json_out or args.output)
+        print(f"artifact written to {path}")
+    return 0 if artifact["summary"]["passed"] else 1
+
+
 def _info() -> str:
     rows = [
         {"command": "maxis --algorithm layers",
@@ -210,6 +327,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "info":
         print(_info())
         return 0
+    if args.command == "bench":
+        return _run_bench(args)
     row = _run_maxis(args) if args.command == "maxis" else _run_matching(
         args
     )

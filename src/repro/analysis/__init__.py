@@ -1,5 +1,6 @@
 """Experiment statistics and rendering helpers."""
 
+from .artifacts import render_artifact, render_section_result
 from .export import read_rows, rows_to_csv, rows_to_json, write_rows
 from .stats import (
     Summary,
@@ -18,6 +19,8 @@ __all__ = [
     "growth_exponent",
     "pearson",
     "read_rows",
+    "render_artifact",
+    "render_section_result",
     "render_series",
     "render_table",
     "rows_to_csv",

@@ -1,0 +1,77 @@
+"""Render benchmark artifacts (``repro-bench/1``) as ASCII tables.
+
+The experiment runner emits machine-readable JSON; this module is the
+human-facing consumer.  It renders a whole artifact — or one section
+record — using the same :func:`~repro.analysis.tables.render_table` /
+:func:`~repro.analysis.tables.render_series` primitives the original
+hand-written benchmarks used, plus a check summary per section.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .tables import render_series, render_table
+
+#: Artifact row keys that are internal bookkeeping, hidden from tables.
+_HIDDEN_KEYS = ("top_layer_series", "series", "node_rows")
+
+
+def _visible_rows(rows: List[Dict]) -> List[Dict]:
+    return [
+        {k: v for k, v in row.items() if k not in _HIDDEN_KEYS}
+        for row in rows
+    ]
+
+
+def render_section_result(section: Dict) -> str:
+    """Render one section record: its table/series plus check results."""
+
+    rows = section.get("rows", [])
+    parts = []
+    if section.get("render") == "series" and rows:
+        params = section.get("render_params", {})
+        x_key = params.get("x", "x")
+        y_key = params.get("y", "y")
+        parts.append(render_series(
+            [row[x_key] for row in rows],
+            [row[y_key] for row in rows],
+            x_label=x_key, y_label=y_key,
+            title=section.get("title"),
+        ))
+    else:
+        parts.append(render_table(_visible_rows(rows),
+                                  title=section.get("title")))
+    checks = section.get("checks", [])
+    if checks:
+        status = []
+        for check in checks:
+            mark = "ok" if check["passed"] else "FAIL"
+            line = f"  [{mark}] {check['name']}"
+            if not check["passed"] and check.get("detail"):
+                line += f": {check['detail']}"
+            status.append(line)
+        parts.append("\n".join(status))
+    return "\n".join(parts)
+
+
+def render_artifact(artifact: Dict) -> str:
+    """Render every section of an artifact plus the overall summary."""
+
+    parts = [
+        f"experiment: {artifact.get('experiment')} — "
+        f"{artifact.get('title', '')}"
+    ]
+    for section in artifact.get("sections", []):
+        parts.append("")
+        parts.append(render_section_result(section))
+    summary = artifact.get("summary", {})
+    if summary:
+        verdict = "PASSED" if summary.get("passed") else "FAILED"
+        parts.append("")
+        parts.append(
+            f"{verdict}: {summary.get('trials', 0)} trials, "
+            f"{summary.get('checks_total', 0)} checks, "
+            f"{summary.get('checks_failed', 0)} failed"
+        )
+    return "\n".join(parts)

@@ -116,6 +116,16 @@ class SynchronousNetwork:
         self.metrics = NetworkMetrics()
         self._protocol_index = 0
         self._max_degree = max((d for _, d in graph.degree()), default=0)
+        #: Adjacency computed once per network; every run() reuses it
+        #: instead of re-walking the networkx structure.
+        self._adjacency: Dict[Hashable, tuple] = {
+            node: tuple(graph.neighbors(node)) for node in graph.nodes
+        }
+        self._n = graph.number_of_nodes()
+        #: Payloads repeat heavily (broadcasts send one tuple to every
+        #: neighbor, protocols reuse the same tags round after round), so
+        #: bit-accounting is memoised per payload tuple.
+        self._bits_cache: Dict[tuple, int] = {}
         #: Optional callback ``(round_index, envelope)`` invoked for every
         #: message sent; used by the line-graph congestion auditor.
         self.trace: Optional[Callable[[int, Envelope], None]] = None
@@ -149,55 +159,66 @@ class SynchronousNetwork:
 
         self._protocol_index += 1
         proto = self._protocol_index
-        node_set = set(nodes)
+        everyone = len(nodes) == self._n
 
         contexts: Dict[Hashable, NodeContext] = {}
-        programs: Dict[Hashable, NodeProgram] = {}
+        pairs: List[tuple] = []  # (ctx, program), execution order
+        adjacency = self._adjacency
+        if not everyone:
+            node_set = set(nodes)
         for node in nodes:
-            neighbors = tuple(
-                v for v in self.graph.neighbors(node) if v in node_set
-            )
-            contexts[node] = NodeContext(
+            neighbors = adjacency[node]
+            if not everyone:
+                neighbors = tuple(v for v in neighbors if v in node_set)
+            ctx = NodeContext(
                 node=node,
                 neighbors=neighbors,
                 rng=stable_rng(self.seed, node, proto),
-                n=self.graph.number_of_nodes(),
+                n=self._n,
                 max_degree=self._max_degree,
             )
-            programs[node] = program_factory(node)
+            contexts[node] = ctx
+            pairs.append((ctx, program_factory(node)))
 
-        in_flight: List[Envelope] = []
-        for node in nodes:
-            ctx = contexts[node]
-            programs[node].on_start(ctx)
-            in_flight.extend(self._collect(ctx))
+        in_flight: List[tuple] = []
+        for ctx, program in pairs:
+            program.on_start(ctx)
+            if ctx._outbox:
+                self._collect(ctx, in_flight)
 
         rounds_used = 0
+        touched: List[NodeContext] = []  # inboxes holding last round's mail
         for round_index in range(max_rounds):
-            active = [node for node in nodes if not contexts[node].halted]
-            if not active:
+            halted_count = sum(1 for ctx, _ in pairs if ctx._halted)
+            if halted_count == len(pairs):
                 break
-            inboxes: Dict[Hashable, Dict[Hashable, tuple]] = {}
-            for envelope in in_flight:
-                if contexts[envelope.dst].halted:
+            for ctx in touched:
+                ctx.inbox.clear()
+            touched.clear()
+            delivered = 0
+            for src, dst, payload in in_flight:
+                ctx = contexts[dst]
+                if ctx._halted:
                     continue
-                inboxes.setdefault(envelope.dst, {})[envelope.src] = (
-                    envelope.payload
-                )
-            delivered = sum(len(v) for v in inboxes.values())
+                inbox = ctx.inbox
+                if not inbox:
+                    touched.append(ctx)
+                inbox[src] = payload
+                delivered += 1
 
             in_flight = []
-            for node in active:
-                ctx = contexts[node]
+            for ctx, program in pairs:
+                if ctx._halted:
+                    continue
                 ctx.round = round_index
-                ctx.inbox = inboxes.get(node, {})
-                programs[node].on_round(ctx)
-                in_flight.extend(self._collect(ctx))
+                program.on_round(ctx)
+                if ctx._outbox:
+                    self._collect(ctx, in_flight)
             rounds_used = round_index + 1
 
             if self.on_round_end is not None:
                 still_active = sum(
-                    1 for node in nodes if not contexts[node].halted
+                    1 for ctx, _ in pairs if not ctx._halted
                 )
                 self.on_round_end(round_index, still_active, delivered)
             if quiescence_halts and delivered == 0 and not in_flight:
@@ -215,22 +236,43 @@ class SynchronousNetwork:
                          metrics=self.metrics)
 
     # ------------------------------------------------------------------
-    def _collect(self, ctx: NodeContext) -> List[Envelope]:
-        envelopes = []
-        for dst, payload in ctx.drain_outbox().items():
-            bits = payload_bits(payload)
-            self.metrics.messages += 1
-            self.metrics.bits += bits
-            self.metrics.max_bits_per_edge_round = max(
-                self.metrics.max_bits_per_edge_round, bits
-            )
-            if self.model == CONGEST and bits > self.bandwidth:
+    def _collect(self, ctx: NodeContext, in_flight: List[tuple]) -> None:
+        """Drain ``ctx``'s outbox into ``in_flight``, metering as we go.
+
+        Accounting is batched: counters are accumulated in locals and
+        written to :class:`NetworkMetrics` once per drain, and payload
+        bit-costs come from the per-network memo cache.  Envelope objects
+        are only materialised when a trace hook is installed.
+        """
+
+        outbox = ctx.drain_outbox()
+        metrics = self.metrics
+        cache = self._bits_cache
+        congest = self.model == CONGEST
+        bandwidth = self.bandwidth
+        trace = self.trace
+        src = ctx.node
+        count = 0
+        total_bits = 0
+        max_bits = 0
+        for dst, payload in outbox.items():
+            bits = cache.get(payload)
+            if bits is None:
+                bits = payload_bits(payload)
+                if len(cache) < 1 << 16:
+                    cache[payload] = bits
+            count += 1
+            total_bits += bits
+            if bits > max_bits:
+                max_bits = bits
+            if congest and bits > bandwidth:
                 if self.strict:
-                    raise BandwidthViolation(ctx.node, dst, bits,
-                                             self.bandwidth)
-                self.metrics.violations += 1
-            envelope = Envelope(src=ctx.node, dst=dst, payload=payload)
-            if self.trace is not None:
-                self.trace(ctx.round, envelope)
-            envelopes.append(envelope)
-        return envelopes
+                    raise BandwidthViolation(src, dst, bits, bandwidth)
+                metrics.violations += 1
+            if trace is not None:
+                trace(ctx.round, Envelope(src=src, dst=dst, payload=payload))
+            in_flight.append((src, dst, payload))
+        metrics.messages += count
+        metrics.bits += total_bits
+        if max_bits > metrics.max_bits_per_edge_round:
+            metrics.max_bits_per_edge_round = max_bits

@@ -30,7 +30,7 @@ import networkx as nx
 
 from ..congest import RoundLedger
 from ..errors import InvalidInstance
-from ..graphs import check_matching, max_degree
+from ..graphs import check_matching
 from .augmenting import (
     augment_with_disjoint_paths,
     enumerate_augmenting_paths,
@@ -76,7 +76,6 @@ def local_matching_1eps(
     if failure_delta is None:
         failure_delta = max(1e-4, min(0.1, eps * eps / 4.0))
     max_length = 2 * math.ceil(1.0 / eps) + 1
-    delta = max_degree(graph)
     ledger = RoundLedger()
     matching: Set[frozenset] = set(initial_matching or set())
     if matching:

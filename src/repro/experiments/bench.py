@@ -1,0 +1,56 @@
+"""pytest-benchmark glue: run registered experiments under pytest.
+
+``benchmarks/bench_*.py`` files declare exactly one line each::
+
+    test_table1 = experiment_bench("table1")
+
+which expands into a test parameterized over the experiment's
+sections.  Every section runs through the shared
+:class:`~repro.experiments.runner.Runner`, prints its rendered table
+(visible with ``pytest -s``), and fails if any of the section's
+registered checks — the paper's shape claims — fail.
+
+``run_once`` is the shared single-execution benchmark helper the old
+``benchmarks/_helpers.py`` used to carry: the paper's metric is
+synchronous rounds, not wall-clock, so one measured run is enough for
+timing context.
+"""
+
+from __future__ import annotations
+
+from ..analysis import render_section_result
+from .registry import get_experiment
+from .runner import Runner
+
+
+def run_once(benchmark, fn):
+    """Benchmark ``fn`` with a single measured execution and return its
+    result."""
+
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def experiment_bench(name: str):
+    """Build a pytest test function covering every section of ``name``."""
+
+    import pytest
+
+    spec = get_experiment(name)
+
+    @pytest.mark.parametrize(
+        "section", [section.name for section in spec.sections]
+    )
+    def bench(benchmark, section):
+        runner = Runner(spec)
+        record = run_once(benchmark, lambda: runner.run_section(section))
+        print()
+        print(render_section_result(record))
+        failed = [
+            f"{check['name']}: {check['detail']}"
+            for check in record["checks"] if not check["passed"]
+        ]
+        assert not failed, "\n".join(failed)
+
+    bench.__name__ = f"test_{name}"
+    bench.__doc__ = spec.description
+    return bench

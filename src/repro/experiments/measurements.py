@@ -1,0 +1,500 @@
+"""Measurement adapters: the bridge from specs to the algorithms.
+
+Every adapter has the uniform signature::
+
+    fn(graph, seed, **params) -> (measures, metrics)
+
+where ``measures`` is a flat JSON-able dict (ints, floats, strings,
+lists) and ``metrics`` is the :class:`~repro.congest.NetworkMetrics`
+of the simulated network when the algorithm runs through the
+simulator, else ``None``.  Adapters never touch wall-clock time — the
+runner owns timing — so trial records stay bit-deterministic.
+
+Oracle comparisons (exact MWIS / Edmonds) are opt-in per cell via the
+``oracle=True`` parameter because they are exponential/cubic and only
+affordable on small instances.
+"""
+
+from __future__ import annotations
+
+from ..analysis import approximation_ratio
+from ..congest import CongestionAudit, SynchronousNetwork
+from ..core import (
+    BipartiteAugmentingPhase,
+    LayerTrace,
+    bipartite_proposal_matching,
+    congest_matching_1eps,
+    enumerate_augmenting_paths,
+    fast_matching_2eps,
+    fast_matching_weighted_2eps,
+    general_proposal_matching,
+    lemma_b13_rounds,
+    local_matching_1eps,
+    matching_local_ratio,
+    maxis_local_ratio_coloring,
+    maxis_local_ratio_layers,
+    optimal_k,
+    residual_decay_series,
+    theorem_2_8_simulation_cost,
+    theorem_3_1_budget,
+    weight_group_matching,
+)
+from ..graphs import max_degree
+from ..matching import (
+    bipartite_sides,
+    greedy_weighted_matching,
+    israeli_itai_matching,
+    matching_weight,
+    optimum_cardinality,
+    optimum_weight,
+)
+from ..mis import (
+    GoldenRoundStats,
+    exact_mwis,
+    luby_mis,
+    mwis_weight,
+    nearly_maximal_is,
+    nmis_plus_luby_mis,
+)
+from .registry import register_measurement
+
+__all__ = ["register_measurement"]
+
+
+# ----------------------------------------------------------------------
+# MaxIS (Algorithms 2 and 3)
+# ----------------------------------------------------------------------
+@register_measurement("maxis_layers")
+def _maxis_layers(graph, seed, oracle=False, trace=False):
+    """Algorithm 2 (local-ratio by weight layers) on the simulator."""
+
+    network = SynchronousNetwork(graph, seed=seed)
+    layer_trace = LayerTrace() if trace else None
+    result = maxis_local_ratio_layers(graph, seed=seed, network=network,
+                                      trace=layer_trace)
+    measures = {
+        "rounds": result.rounds,
+        "size": len(result.independent_set),
+        "weight": result.weight,
+        "delta": max_degree(graph),
+    }
+    if trace:
+        series = layer_trace.top_layer_series()
+        measures["top_layer_series"] = list(series)
+        measures["phases"] = len(series)
+        measures["layer_drops"] = sum(
+            1 for a, b in zip(series, series[1:]) if b < a
+        )
+        measures["initial_top"] = series[0] if series else 0
+    if oracle:
+        optimum = mwis_weight(graph, exact_mwis(graph))
+        measures["optimum"] = optimum
+        measures["ratio"] = approximation_ratio(optimum, result.weight)
+    return measures, network.metrics
+
+
+@register_measurement("maxis_coloring")
+def _maxis_coloring(graph, seed, oracle=False, check_deterministic=False):
+    """Algorithm 3 (local-ratio by coloring); ``seed`` is unused (it is
+    deterministic) but kept for the uniform signature."""
+
+    network = SynchronousNetwork(graph, seed=seed)
+    result = maxis_local_ratio_coloring(graph, network=network)
+    measures = {
+        "lr_rounds": result.local_ratio_rounds,
+        "accounted": result.accounted_rounds,
+        "size": len(result.independent_set),
+        "weight": result.weight,
+        "delta": max_degree(graph),
+    }
+    if check_deterministic:
+        again = maxis_local_ratio_coloring(graph)
+        measures["deterministic"] = (
+            again.independent_set == result.independent_set
+        )
+    if oracle:
+        optimum = mwis_weight(graph, exact_mwis(graph))
+        measures["optimum"] = optimum
+        measures["ratio"] = approximation_ratio(optimum, result.weight)
+    return measures, network.metrics
+
+
+# ----------------------------------------------------------------------
+# Matching pipelines
+# ----------------------------------------------------------------------
+@register_measurement("matching_lines")
+def _matching_lines(graph, seed, method="layers", oracle=False, audit=False):
+    """2-approx MWM via MaxIS on the line graph (Theorem 2.10)."""
+
+    congestion = CongestionAudit() if audit else None
+    result = matching_local_ratio(graph, method=method, seed=seed,
+                                  audit=congestion)
+    measures = {
+        "rounds": result.rounds,
+        "size": len(result.matching),
+        "weight": result.weight,
+        "delta": max_degree(graph),
+    }
+    if audit:
+        measures["naive_max"] = congestion.max_naive_load()
+        measures["aggregated_max"] = congestion.max_aggregated_load()
+    if oracle:
+        optimum = optimum_weight(graph)
+        measures["optimum"] = optimum
+        measures["ratio"] = approximation_ratio(optimum, result.weight)
+    return measures, None
+
+
+@register_measurement("weight_groups")
+def _weight_groups(graph, seed, oracle=False):
+    """Footnote-5 weight-group 2-approx MWM directly on G."""
+
+    result = weight_group_matching(graph, seed=seed)
+    measures = {
+        "rounds": result.rounds,
+        "size": len(result.matching),
+        "weight": result.weight,
+    }
+    if oracle:
+        optimum = optimum_weight(graph)
+        measures["optimum"] = optimum
+        measures["ratio"] = approximation_ratio(optimum, result.weight)
+    return measures, None
+
+
+@register_measurement("fast2eps")
+def _fast2eps(graph, seed, eps=0.5, k=None, oracle=False):
+    """(2+ε)-approx MCM (Theorem 3.2)."""
+
+    kwargs = {} if k is None else {"k": k}
+    result = fast_matching_2eps(graph, eps=eps, seed=seed, **kwargs)
+    measures = {
+        "rounds": result.rounds,
+        "size": len(result.matching),
+        "delta": max_degree(graph),
+    }
+    if oracle:
+        optimum = optimum_cardinality(graph)
+        measures["optimum"] = optimum
+        measures["ratio"] = approximation_ratio(optimum,
+                                                len(result.matching))
+    return measures, None
+
+
+@register_measurement("fast2eps_weighted")
+def _fast2eps_weighted(graph, seed, eps=0.5, beta_bucket=None, oracle=False):
+    """(2+ε)-approx MWM (Appendix B.1 pipeline)."""
+
+    kwargs = {} if beta_bucket is None else {"beta_bucket": beta_bucket}
+    result = fast_matching_weighted_2eps(graph, eps=eps, seed=seed, **kwargs)
+    measures = {
+        "rounds": result.rounds,
+        "size": len(result.matching),
+        "weight": result.weight,
+    }
+    if oracle:
+        optimum = optimum_weight(graph)
+        measures["optimum"] = optimum
+        measures["ratio"] = approximation_ratio(optimum, result.weight)
+    return measures, None
+
+
+@register_measurement("oneeps_local")
+def _oneeps_local(graph, seed, eps=0.5, oracle=False):
+    """(1+ε)-approx MCM, LOCAL model (Theorem B.4)."""
+
+    result = local_matching_1eps(graph, eps=eps, seed=seed)
+    measures = {
+        "rounds": result.rounds,
+        "found": result.cardinality,
+        "deactivated": len(result.deactivated),
+    }
+    if oracle:
+        measures["opt"] = optimum_cardinality(graph)
+    return measures, None
+
+
+@register_measurement("oneeps_congest")
+def _oneeps_congest(graph, seed, eps=0.5, oracle=False):
+    """(1+ε)-approx MCM, CONGEST model (Theorem B.7)."""
+
+    result = congest_matching_1eps(graph, eps=eps, seed=seed)
+    measures = {
+        "rounds": result.rounds,
+        "found": result.cardinality,
+        "deactivated": len(result.deactivated),
+        "stages": result.stages,
+    }
+    if oracle:
+        measures["opt"] = optimum_cardinality(graph)
+    return measures, None
+
+
+# ----------------------------------------------------------------------
+# Proposal matching (Appendix B.4)
+# ----------------------------------------------------------------------
+@register_measurement("proposal_bipartite")
+def _proposal_bipartite(graph, seed, phases=None):
+    """Lemma B.13 proposal rounds on a bipartite instance."""
+
+    left, right = bipartite_sides(graph)
+    network = SynchronousNetwork(graph, seed=seed)
+    result = bipartite_proposal_matching(graph, left, right, seed=seed,
+                                         network=network, phases=phases)
+    return {
+        "matched": len(result.matching),
+        "unlucky_left": len(result.unlucky & left),
+        "left_size": len(left),
+    }, network.metrics
+
+
+@register_measurement("proposal_general")
+def _proposal_general(graph, seed, eps=0.25, oracle=False):
+    """Lemma B.14 general-graph wrapper."""
+
+    matching, rounds, _ledger = general_proposal_matching(graph, eps=eps,
+                                                          seed=seed)
+    measures = {"found": len(matching), "rounds": rounds}
+    if oracle:
+        opt = optimum_cardinality(graph)
+        measures["opt"] = opt
+        measures["ok"] = (2 + eps) * len(matching) >= opt
+    return measures, None
+
+
+@register_measurement("proposal_budget")
+def _proposal_budget(graph, seed, delta=8, eps=0.25):
+    """Analytic Lemma B.13 phase budgets (no simulation)."""
+
+    k_star = optimal_k(delta, eps)
+    return {
+        "k_star": k_star,
+        "budget_k2": lemma_b13_rounds(delta, eps, 2),
+        "budget_kstar": lemma_b13_rounds(delta, eps, k_star),
+    }, None
+
+
+# ----------------------------------------------------------------------
+# MIS engines and NMIS decay (Section 3)
+# ----------------------------------------------------------------------
+@register_measurement("mis_engines")
+def _mis_engines(graph, seed):
+    """Luby vs the NMIS+Luby composite on the same instance/seed."""
+
+    network = SynchronousNetwork(graph, seed=seed)
+    _, luby_rounds = luby_mis(graph, seed=seed, network=network)
+    _, composite_rounds = nmis_plus_luby_mis(graph, seed=seed)
+    return {
+        "luby_rounds": luby_rounds,
+        "composite_rounds": composite_rounds,
+    }, network.metrics
+
+
+@register_measurement("residual_decay")
+def _residual_decay(graph, seed, k=2, max_iterations=14, num_seeds=4):
+    """Theorem 3.1 residual-mass decay curve (mean over seeds)."""
+
+    series = residual_decay_series(
+        graph, k=k, max_iterations=max_iterations,
+        seeds=range(seed, seed + num_seeds),
+    )
+    return {"series": [float(x) for x in series]}, None
+
+
+@register_measurement("golden_rounds")
+def _golden_rounds(graph, seed, iterations=25, k=2):
+    """Lemma B.1/B.2 golden-round occurrence statistics."""
+
+    stats = GoldenRoundStats()
+    nearly_maximal_is(graph, iterations=iterations, k=k, seed=seed,
+                      stats=stats)
+    return {
+        "type1_nodes": len(stats.type1),
+        "type2_nodes": len(stats.type2),
+        "type1_total": sum(stats.type1.values()),
+        "type2_total": sum(stats.type2.values()),
+    }, None
+
+
+@register_measurement("nmis_budget_residual")
+def _nmis_budget_residual(graph, seed, delta=6, k=2.0, failure_delta=0.05,
+                          num_seeds=5):
+    """Residual rate after running for the Theorem 3.1 budget."""
+
+    budget = theorem_3_1_budget(delta, k, failure_delta)
+    residuals = 0
+    total = 0
+    for s in range(seed, seed + num_seeds):
+        _, residual, _ = nearly_maximal_is(graph, iterations=budget,
+                                           k=int(k), seed=s)
+        residuals += len(residual)
+        total += graph.number_of_nodes()
+    return {
+        "budget": budget,
+        "failure_delta": failure_delta,
+        "rate": residuals / total,
+    }, None
+
+
+# ----------------------------------------------------------------------
+# Congestion accounting (Theorem 2.8) and baselines
+# ----------------------------------------------------------------------
+@register_measurement("t28_cost")
+def _t28_cost(graph, seed):
+    """Analytic per-edge load of one line-graph round (Theorem 2.8)."""
+
+    cost = theorem_2_8_simulation_cost(graph)
+    return {
+        "delta": max_degree(graph),
+        "naive_max": cost.naive_max_load,
+        "aggregated_max": cost.aggregated_max_load,
+        "naive_total": cost.naive_total,
+        "aggregated_total": cost.aggregated_total,
+    }, None
+
+
+@register_measurement("weighted_matchers")
+def _weighted_matchers(graph, seed, eps=0.5):
+    """Ours vs maximal/greedy baselines on one weighted instance."""
+
+    opt = optimum_weight(graph)
+    local_ratio = matching_local_ratio(graph, method="layers", seed=seed)
+    fast = fast_matching_weighted_2eps(graph, eps=eps, seed=seed)
+    maximal, _ = israeli_itai_matching(graph, seed=seed)
+    greedy = greedy_weighted_matching(graph)
+    return {
+        "lr2_ratio": approximation_ratio(opt, local_ratio.weight),
+        "fast2eps_ratio": approximation_ratio(opt, fast.weight),
+        "maximal_ratio": approximation_ratio(
+            opt, matching_weight(graph, maximal)),
+        "greedy_ratio": approximation_ratio(
+            opt, matching_weight(graph, greedy)),
+    }, None
+
+
+@register_measurement("lines_vs_groups")
+def _lines_vs_groups(graph, seed):
+    """L(G) formulation vs footnote-5 weight groups on one instance."""
+
+    opt = optimum_weight(graph)
+    via_lines = matching_local_ratio(graph, method="layers", seed=seed)
+    direct = weight_group_matching(graph, seed=seed)
+    return {
+        "lines_ratio": approximation_ratio(opt, via_lines.weight),
+        "lines_rounds": via_lines.rounds,
+        "groups_ratio": approximation_ratio(opt, direct.weight),
+        "groups_rounds": direct.rounds,
+    }, None
+
+
+@register_measurement("fast_vs_maximal_rounds")
+def _fast_vs_maximal_rounds(graph, seed, eps=0.5, num_seeds=3):
+    """Round scaling of fast (2+ε) vs the Israeli–Itai baseline."""
+
+    opt = optimum_cardinality(graph)
+    fast_rounds = []
+    ratios = []
+    for s in range(seed, seed + num_seeds):
+        fast = fast_matching_2eps(graph, eps=eps, seed=s)
+        fast_rounds.append(fast.rounds)
+        ratios.append(approximation_ratio(opt, len(fast.matching)))
+    maximal, ii_rounds = israeli_itai_matching(graph, seed=seed)
+    return {
+        "fast_rounds": sum(fast_rounds) / len(fast_rounds),
+        "israeli_itai_rounds": ii_rounds,
+        "fast_ratio": max(ratios),
+        "maximal_ratio": approximation_ratio(opt, len(maximal)),
+    }, None
+
+
+# ----------------------------------------------------------------------
+# Figure 1 (Claims B.5/B.6 traversals)
+# ----------------------------------------------------------------------
+def _greedy_matching_sorted(graph):
+    matching, used = set(), set()
+    for u, v in sorted(graph.edges, key=repr):
+        if u not in used and v not in used:
+            matching.add(frozenset((u, v)))
+            used |= {u, v}
+    return matching
+
+
+@register_measurement("figure1_counts")
+def _figure1_counts(graph, seed, greedy_matching=False):
+    """Forward/backward augmenting-path counts vs brute force.
+
+    The matching comes from the graph attribute ``matching`` (the
+    curated Figure 1 instance) or — with ``greedy_matching`` — from a
+    deterministic greedy pass, so length-3 paths are the shortest.
+    """
+
+    a_side, b_side = bipartite_sides(graph)
+    if greedy_matching:
+        matching = _greedy_matching_sorted(graph)
+    else:
+        matching = {frozenset(pair) for pair in graph.graph["matching"]}
+    phase = BipartiteAugmentingPhase(graph, a_side, b_side, matching,
+                                     d=3, eps=0.5, seed=seed)
+    counts, contrib, raw = phase._forward(phase.scope, use_alpha=False)
+    through = phase._backward(counts, contrib, raw)
+
+    paths = enumerate_augmenting_paths(graph, matching, 3)
+    end_counts = {}
+    node_counts = {}
+    for p in paths:
+        end = p[-1] if p[-1] in b_side else p[0]
+        end_counts[end] = end_counts.get(end, 0) + 1
+        for v in p:
+            node_counts[v] = node_counts.get(v, 0) + 1
+
+    forward_err = max(
+        (abs(counts.get(b, 0) - c) for b, c in end_counts.items()),
+        default=0.0,
+    )
+    through_err = max(
+        (abs(through.get(v, 0) - c) for v, c in node_counts.items()),
+        default=0.0,
+    )
+    measures = {
+        "paths": len(paths),
+        "forward_err": float(forward_err),
+        "through_err": float(through_err),
+        "node_rows": [
+            {
+                "node": str(v),
+                "forward_b5": float(counts.get(v, 0.0)),
+                "through_b6": float(through.get(v, 0.0)),
+                "brute_force": node_counts.get(v, 0),
+            }
+            for v in sorted(graph.nodes, key=str)
+        ],
+    }
+    return measures, None
+
+
+# ----------------------------------------------------------------------
+# Simulator micro-benchmark (CI smoke / perf tracking)
+# ----------------------------------------------------------------------
+@register_measurement("simulator_microbench")
+def _simulator_microbench(graph, seed, model="CONGEST"):
+    """One full Algorithm-2 protocol run through the simulator.
+
+    The measures are exact simulator counters — rounds, messages,
+    bits — which double as a behavioural fingerprint: any change to
+    the message-passing core that alters delivery or metering shows up
+    as a diff here, and the smoke gate pins them.  Wall-clock speed is
+    reported by the runner's ``--timing`` mode, never here.
+    """
+
+    network = SynchronousNetwork(graph, model=model, seed=seed)
+    result = maxis_local_ratio_layers(graph, seed=seed, network=network)
+    return {
+        "rounds": result.rounds,
+        "messages": network.metrics.messages,
+        "bits": network.metrics.bits,
+        "max_bits_per_edge_round":
+            network.metrics.max_bits_per_edge_round,
+        "violations": network.metrics.violations,
+        "is_weight": result.weight,
+        "n": graph.number_of_nodes(),
+    }, network.metrics

@@ -1,0 +1,185 @@
+"""Deterministic experiment runner.
+
+The :class:`Runner` is the single execution engine behind every
+benchmark: the ``python -m repro bench`` CLI, the ``benchmarks/``
+pytest suite and the CI smoke gate all funnel through
+:meth:`Runner.run`.  For each section of an
+:class:`~repro.experiments.spec.ExperimentSpec` it
+
+1. materializes each grid cell's graph spec once (graphs are reused
+   across the seed sweep, exactly like the hand-written benchmarks
+   did),
+2. executes the section's measurement for every ``(cell, seed)`` pair,
+   passing a seed that is either the literal spec seed or — when the
+   section opts into ``derive_seeds`` — derived via
+   :func:`repro.utils.stable_rng` from
+   ``(experiment, section, cell, seed)``,
+3. collects the measurement's measures dict plus an optional
+   :class:`~repro.congest.network.NetworkMetrics` snapshot per trial,
+4. reduces trials to table rows and evaluates the section's checks,
+   recording pass/fail instead of aborting.
+
+The assembled artifact follows the versioned schema documented in
+:mod:`~repro.experiments.artifact`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional
+
+from ..utils import stable_rng
+from .artifact import SCHEMA, metrics_snapshot
+from .registry import build_graph, get_measurement
+from .spec import ExperimentSpec, Section
+
+
+def _sanitize(value):
+    """Make a measures value JSON-safe: non-finite floats (an infinite
+    approximation ratio from an empty solution, a NaN statistic) become
+    strings so the artifact still serializes — and any check comparing
+    against them records a failure instead of crashing the run."""
+
+    if isinstance(value, float):
+        return value if value == value and abs(value) != float("inf") \
+            else repr(value)
+    if isinstance(value, dict):
+        return {key: _sanitize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(item) for item in value]
+    return value
+
+
+def _default_reduce(trials: List[dict]) -> List[dict]:
+    rows = []
+    for trial in trials:
+        row = dict(trial["params"])
+        row["seed"] = trial["seed"]
+        row.update(trial["measures"])
+        rows.append(row)
+    return rows
+
+
+class Runner:
+    """Executes one :class:`ExperimentSpec` and assembles its artifact."""
+
+    def __init__(self, spec: ExperimentSpec, timing: bool = False):
+        self.spec = spec
+        self.timing = timing
+
+    # ------------------------------------------------------------------
+    def trial_seed(self, section: Section, cell_index: int, seed: int) -> int:
+        if not section.derive_seeds:
+            return seed
+        rng = stable_rng(seed, self.spec.name, section.name, cell_index)
+        return rng.getrandbits(31)
+
+    def run_section(self, section) -> Dict:
+        """Run one section (by name or :class:`Section`) to a record."""
+
+        if isinstance(section, str):
+            section = self.spec.section(section)
+        measurement = get_measurement(section.measurement)
+        trials: List[dict] = []
+        started = time.perf_counter() if self.timing else 0.0
+        for cell_index, cell in enumerate(section.grid):
+            cell = dict(cell)
+            graph_spec = cell.pop("graph", None)
+            graph = build_graph(graph_spec) if graph_spec is not None else None
+            # Per-cell overrides: a cell may pin its own seed sweep (for
+            # benches whose graph seed and algorithm seed co-vary), swap
+            # the measurement (heterogeneous summary tables), or carry
+            # display-only labels that are recorded but not passed to
+            # the measurement.
+            cell_seeds = cell.pop("seeds", section.seeds)
+            cell_measurement = cell.pop("measurement", None)
+            label = dict(cell.pop("label", {}))
+            fn = (measurement if cell_measurement is None
+                  else get_measurement(cell_measurement))
+            for seed in cell_seeds:
+                trial_seed = self.trial_seed(section, cell_index, seed)
+                measures, metrics = fn(graph, trial_seed, **cell)
+                trials.append({
+                    "cell": cell_index,
+                    "graph": graph_spec,
+                    "params": {**label, **cell},
+                    "seed": trial_seed,
+                    "measures": _sanitize(measures),
+                    "metrics": metrics_snapshot(metrics),
+                })
+        reduce = section.reduce or _default_reduce
+        rows = reduce(trials)
+        checks = []
+        for check in section.checks:
+            try:
+                check.fn(rows)
+            except AssertionError as exc:
+                checks.append({"name": check.name, "passed": False,
+                               "detail": str(exc)})
+            except Exception as exc:  # record-not-abort contract
+                checks.append({
+                    "name": check.name,
+                    "passed": False,
+                    "detail": f"{type(exc).__name__}: {exc}",
+                })
+            else:
+                checks.append({"name": check.name, "passed": True,
+                               "detail": check.description})
+        record = {
+            "name": section.name,
+            "title": section.title,
+            "measurement": section.measurement,
+            "render": section.render,
+            "render_params": dict(section.render_params),
+            "trials": trials,
+            "rows": rows,
+            "checks": checks,
+        }
+        if self.timing:
+            record["timing"] = {
+                "seconds": time.perf_counter() - started,
+            }
+        return record
+
+    # ------------------------------------------------------------------
+    def run(self, sections: Optional[Iterable[str]] = None) -> Dict:
+        """Run the experiment (optionally a subset of section names)."""
+
+        wanted = None if sections is None else list(sections)
+        selected = (self.spec.sections if wanted is None
+                    else [self.spec.section(name) for name in wanted])
+        records = [self.run_section(section) for section in selected]
+        trials = sum(len(r["trials"]) for r in records)
+        checks_total = sum(len(r["checks"]) for r in records)
+        checks_failed = sum(
+            1 for r in records for c in r["checks"] if not c["passed"]
+        )
+        artifact = {
+            "schema": SCHEMA,
+            "experiment": self.spec.name,
+            "title": self.spec.title,
+            "description": self.spec.description,
+            "sections": records,
+            "summary": {
+                "sections": len(records),
+                "trials": trials,
+                "checks_total": checks_total,
+                "checks_failed": checks_failed,
+                "passed": checks_failed == 0,
+            },
+        }
+        if self.timing:
+            timing = {r["name"]: r.pop("timing")["seconds"] for r in records}
+            artifact["timing"] = {
+                "sections": timing,
+                "seconds_total": sum(timing.values()),
+            }
+        return artifact
+
+
+def run_experiment(spec: ExperimentSpec,
+                   sections: Optional[Iterable[str]] = None,
+                   timing: bool = False) -> Dict:
+    """Convenience wrapper: ``Runner(spec, timing).run(sections)``."""
+
+    return Runner(spec, timing=timing).run(sections)

@@ -12,7 +12,6 @@ from repro.graphs import (
     grid_graph,
     path_graph,
     random_bipartite_graph,
-    random_regular_graph,
     random_tree,
     star_graph,
 )

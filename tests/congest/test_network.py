@@ -1,6 +1,5 @@
 """Tests for the synchronous network simulator semantics."""
 
-import networkx as nx
 import pytest
 
 from repro.congest import (

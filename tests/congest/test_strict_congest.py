@@ -2,8 +2,6 @@
 must fit its messages inside the O(log n)-bit bandwidth.  Running under
 ``strict=True`` turns any oversized message into a hard failure."""
 
-import pytest
-
 from repro.congest import CONGEST, SynchronousNetwork
 from repro.core import maxis_local_ratio_coloring, maxis_local_ratio_layers
 from repro.core.proposal_matching import bipartite_proposal_matching

@@ -2,7 +2,6 @@
 
 import itertools
 
-import networkx as nx
 import pytest
 
 from repro.core import (
@@ -78,7 +77,6 @@ class TestEnumeration:
 
 class TestFlip:
     def test_flip_grows_matching_by_one(self):
-        g = path_graph(4)
         matching = {frozenset((1, 2))}
         flipped = flip_augmenting_path(matching, (0, 1, 2, 3))
         assert flipped == {frozenset((0, 1)), frozenset((2, 3))}

@@ -2,8 +2,6 @@
 structured extremes, and parameter boundaries."""
 
 import networkx as nx
-import pytest
-
 from repro.core import (
     LayerTrace,
     bucketed_constant_approx_mwm,

@@ -8,7 +8,7 @@ from repro.core import (
     residual_decay_series,
     theorem_3_1_budget,
 )
-from repro.graphs import check_independent_set, gnp_graph, random_regular_graph
+from repro.graphs import check_independent_set, random_regular_graph
 
 
 class TestParameters:

@@ -7,7 +7,6 @@ must never violate regardless of scheduling: independence, maximality
 oracle, and agreement between engines on the guarantee.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import (

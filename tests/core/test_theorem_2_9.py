@@ -9,8 +9,6 @@ messages.  This is what licenses the Theorem 2.8 line-graph simulation.
 
 import itertools
 
-import pytest
-
 from repro.congest import NodeContext
 from repro.core.maxis_layers import MaxISLayersProgram
 from repro.mis.ghaffari import GhaffariProgram

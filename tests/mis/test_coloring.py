@@ -6,7 +6,6 @@ from hypothesis import given, settings, strategies as st
 from repro.errors import AlgorithmContractViolation
 from repro.graphs import (
     check_coloring,
-    cycle_graph,
     empty_graph,
     gnp_graph,
     max_degree,

@@ -13,7 +13,6 @@ from repro.graphs import (
     cycle_graph,
     gnp_graph,
     max_degree,
-    node_weight,
     path_graph,
 )
 from repro.mis import exact_mwis, greedy_mis, greedy_mwis, mwis_weight

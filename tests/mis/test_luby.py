@@ -7,7 +7,6 @@ from repro.congest import SynchronousNetwork
 from repro.graphs import (
     check_independent_set,
     complete_graph,
-    cycle_graph,
     empty_graph,
     gnp_graph,
     path_graph,

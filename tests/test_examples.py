@@ -6,7 +6,6 @@ pitfall comparison), so executing ``main()`` is a real test.
 
 import importlib.util
 import pathlib
-import sys
 
 import pytest
 

@@ -1,7 +1,6 @@
 """Cross-module integration tests: full pipelines against exact oracles,
 adversarial workloads, and failure injection."""
 
-import math
 
 import networkx as nx
 import pytest
@@ -12,7 +11,6 @@ from repro.core import (
     congest_matching_1eps,
     fast_matching_2eps,
     fast_matching_weighted_2eps,
-    general_proposal_matching,
     local_matching_1eps,
     matching_local_ratio,
     maxis_local_ratio_coloring,
@@ -25,19 +23,16 @@ from repro.graphs import (
     assign_node_weights,
     caterpillar_graph,
     gnp_graph,
-    grid_graph,
     max_degree,
     random_regular_graph,
     star_graph,
 )
 from repro.matching import (
-    greedy_weighted_matching,
     israeli_itai_matching,
-    matching_weight,
     optimum_cardinality,
     optimum_weight,
 )
-from repro.mis import exact_mwis, greedy_mwis, luby_mis, mwis_weight
+from repro.mis import exact_mwis, mwis_weight
 
 
 class TestMaxISPipelines:
