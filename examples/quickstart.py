@@ -1,29 +1,23 @@
 """Quickstart: the library in five minutes.
 
-Builds a small weighted network, runs the paper's main algorithms, and
-prints what each one guarantees vs. what it achieved.
+Builds a small weighted network and runs the paper's main algorithms —
+all through the unified facade: one :class:`repro.api.Instance`, one
+:func:`repro.api.solve` call per algorithm, one
+:class:`repro.api.SolveReport` back.  ``report.compare()`` checks each
+run against the exact optimum.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro.analysis import approximation_ratio
-from repro.core import (
-    fast_matching_weighted_2eps,
-    local_matching_1eps,
-    matching_local_ratio,
-    maxis_local_ratio_coloring,
-    maxis_local_ratio_layers,
-)
+from repro.api import Instance, solve
 from repro.graphs import (
     assign_edge_weights,
     assign_node_weights,
     gnp_graph,
     max_degree,
 )
-from repro.matching import optimum_cardinality, optimum_weight
-from repro.mis import exact_mwis, mwis_weight
 
 
 def main() -> None:
@@ -38,39 +32,38 @@ def main() -> None:
           f"m={graph.number_of_edges()}, Δ={delta}")
 
     # --- Maximum weight independent set, Δ-approximation -------------
-    optimum = mwis_weight(graph, exact_mwis(graph))
-    layered = maxis_local_ratio_layers(graph, seed=1)
-    colored = maxis_local_ratio_coloring(graph)
+    layered = solve(Instance(graph, seed=1), "maxis-layers")
+    colored = solve(Instance(graph), "maxis-coloring")
     print("\nMaxIS (guarantee: Δ-approximation =", delta, ")")
-    print(f"  Algorithm 2 (randomized): weight {layered.weight} "
-          f"(ratio {approximation_ratio(optimum, layered.weight):.2f}) "
+    print(f"  Algorithm 2 (randomized): weight {layered.objective} "
+          f"(ratio {layered.compare()['ratio']:.2f}) "
           f"in {layered.rounds} rounds")
-    print(f"  Algorithm 3 (deterministic): weight {colored.weight} "
-          f"(ratio {approximation_ratio(optimum, colored.weight):.2f}) "
-          f"in {colored.accounted_rounds} rounds (accounted)")
+    print(f"  Algorithm 3 (deterministic): weight {colored.objective} "
+          f"(ratio {colored.compare()['ratio']:.2f}) "
+          f"in {colored.rounds} rounds (accounted)")
 
     # --- Maximum weight matching, 2-approximation ---------------------
-    opt_weight = optimum_weight(graph)
-    two_approx = matching_local_ratio(graph, method="layers", seed=2)
+    two_approx = solve(Instance(graph, seed=2), "matching-lines")
     print("\nMWM via MaxIS on the line graph (guarantee: 2-approx)")
-    print(f"  weight {two_approx.weight} "
-          f"(ratio {approximation_ratio(opt_weight, two_approx.weight):.2f}) "
+    print(f"  weight {two_approx.objective} "
+          f"(ratio {two_approx.compare()['ratio']:.2f}) "
           f"in {two_approx.rounds} rounds")
 
     # --- Fast (2+ε) weighted matching ---------------------------------
-    fast = fast_matching_weighted_2eps(graph, eps=0.5, seed=3)
+    fast = solve(Instance(graph, eps=0.5, seed=3),
+                 "matching-fast2eps-weighted")
     print("\nFast MWM (guarantee: (2+ε)-approx, ε=0.5, "
           "O(log Δ/log log Δ) rounds)")
-    print(f"  weight {fast.weight} "
-          f"(ratio {approximation_ratio(opt_weight, fast.weight):.2f}) "
+    print(f"  weight {fast.objective} "
+          f"(ratio {fast.compare()['ratio']:.2f}) "
           f"in {fast.rounds} rounds")
 
     # --- (1+ε) maximum cardinality matching ---------------------------
-    opt_card = optimum_cardinality(graph)
-    one_eps = local_matching_1eps(graph, eps=0.5, seed=4)
+    one_eps = solve(Instance(graph, eps=0.5, seed=4), "matching-oneeps")
+    comparison = one_eps.compare()
     print("\nMCM via Hopcroft–Karp phases (guarantee: (1+ε)-approx)")
-    print(f"  {one_eps.cardinality} edges vs optimum {opt_card} "
-          f"({len(one_eps.deactivated)} nodes deactivated) "
+    print(f"  {one_eps.size} edges vs optimum {comparison['optimum']} "
+          f"({len(one_eps.extras['deactivated'])} nodes deactivated) "
           f"in {one_eps.rounds} rounds")
 
 

@@ -20,10 +20,9 @@ from __future__ import annotations
 
 import networkx as nx
 
-from repro.analysis import approximation_ratio
-from repro.core import maxis_local_ratio_coloring, maxis_local_ratio_layers
+from repro.api import Instance, solve
 from repro.graphs import assign_node_weights, max_degree, star_graph
-from repro.mis import exact_mwis, mwis_weight
+from repro.mis import mwis_weight
 from repro.utils import stable_rng
 
 
@@ -79,31 +78,30 @@ def main() -> None:
     print(f"sensor field: {field.number_of_nodes()} sensors, "
           f"{field.number_of_edges()} interference pairs, Δ={delta}")
 
-    layered = maxis_local_ratio_layers(field, seed=1)
-    colored = maxis_local_ratio_coloring(field)
-    print(f"\nAlgorithm 2 activates {len(layered.independent_set)} sensors "
-          f"(total value {layered.weight}) in {layered.rounds} rounds")
-    print(f"Algorithm 3 activates {len(colored.independent_set)} sensors "
-          f"(total value {colored.weight}), deterministic")
+    layered = solve(Instance(field, seed=1), "maxis-layers")
+    colored = solve(Instance(field), "maxis-coloring")
+    print(f"\nAlgorithm 2 activates {layered.size} sensors "
+          f"(total value {layered.objective}) in {layered.rounds} rounds")
+    print(f"Algorithm 3 activates {colored.size} sensors "
+          f"(total value {colored.objective}), deterministic")
 
     if field.number_of_nodes() <= 60:
-        optimum = mwis_weight(field, exact_mwis(field))
-        print(f"exact optimum value: {optimum} "
-              f"(Alg.2 ratio "
-              f"{approximation_ratio(optimum, layered.weight):.2f}, "
+        comparison = layered.compare()
+        print(f"exact optimum value: {comparison['optimum']} "
+              f"(Alg.2 ratio {comparison['ratio']:.2f}, "
               f"guarantee {delta})")
 
     # ------------------------------------------------------------------
     print("\n--- the §1.1 pitfall on a star-shaped interference graph ---")
     star = assign_node_weights(star_graph(6), 40, scheme="star-trap")
     naive = naive_simultaneous_reduction(star)
-    principled = maxis_local_ratio_layers(star, seed=2)
+    principled = solve(Instance(star, seed=2), "maxis-layers")
     print(f"naive simultaneous reduction activates: {sorted(naive)}  "
           f"(value {mwis_weight(star, naive)})")
     print(f"Algorithm 2 activates: "
-          f"{sorted(principled.independent_set)}  "
-          f"(value {principled.weight})")
-    assert principled.weight > mwis_weight(star, naive), (
+          f"{sorted(principled.solution)}  "
+          f"(value {principled.objective})")
+    assert principled.objective > mwis_weight(star, naive), (
         "the independent-set discipline must beat the naive reduction"
     )
 

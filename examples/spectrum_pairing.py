@@ -17,13 +17,9 @@ Run:  python examples/spectrum_pairing.py
 from __future__ import annotations
 
 from repro.analysis import approximation_ratio
-from repro.core import fast_matching_weighted_2eps, matching_local_ratio
+from repro.api import Instance, solve
 from repro.graphs import assign_edge_weights, gnp_graph
-from repro.matching import (
-    israeli_itai_matching,
-    matching_weight,
-    optimum_weight,
-)
+from repro.matching import matching_weight, optimum_weight
 
 
 def main() -> None:
@@ -37,28 +33,29 @@ def main() -> None:
     optimum = optimum_weight(mesh)
     print(f"\noracle (Edmonds): total link quality {optimum}")
 
-    local_ratio = matching_local_ratio(mesh, method="layers", seed=1)
+    local_ratio = solve(Instance(mesh, seed=1), "matching-lines")
     print(f"local-ratio 2-approx (Thm 2.10): quality "
-          f"{local_ratio.weight} "
-          f"(ratio {approximation_ratio(optimum, local_ratio.weight):.2f})"
+          f"{local_ratio.objective} "
+          f"(ratio {local_ratio.compare()['ratio']:.2f})"
           f" in {local_ratio.rounds} rounds")
 
-    fast = fast_matching_weighted_2eps(mesh, eps=0.5, seed=2)
-    print(f"fast (2+ε)-approx (Appendix B.1): quality {fast.weight} "
-          f"(ratio {approximation_ratio(optimum, fast.weight):.2f}) "
+    fast = solve(Instance(mesh, eps=0.5, seed=2),
+                 "matching-fast2eps-weighted")
+    print(f"fast (2+ε)-approx (Appendix B.1): quality {fast.objective} "
+          f"(ratio {fast.compare()['ratio']:.2f}) "
           f"in {fast.rounds} rounds")
 
-    oblivious, rounds = israeli_itai_matching(mesh, seed=3)
-    oblivious_weight = matching_weight(mesh, oblivious)
+    oblivious = solve(Instance(mesh, seed=3), "matching-israeli-itai")
+    oblivious_weight = matching_weight(mesh, oblivious.solution)
     print(f"weight-oblivious maximal matching: quality "
           f"{oblivious_weight} "
           f"(ratio {approximation_ratio(optimum, oblivious_weight):.2f}) "
-          f"in {rounds} rounds")
+          f"in {oblivious.rounds} rounds")
 
-    assert 2 * local_ratio.weight >= optimum
-    assert 2.5 * fast.weight >= optimum
-    if oblivious_weight < local_ratio.weight:
-        gain = local_ratio.weight / max(1, oblivious_weight)
+    assert 2 * local_ratio.objective >= optimum
+    assert 2.5 * fast.objective >= optimum
+    if oblivious_weight < local_ratio.objective:
+        gain = local_ratio.objective / max(1, oblivious_weight)
         print(f"\nweight-aware pairing carries {gain:.1f}x the quality "
               f"of the weight-oblivious schedule")
 

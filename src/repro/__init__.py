@@ -11,21 +11,25 @@ Subpackages
 ``repro.core``      — the paper's algorithms (Algorithms 1–3, Theorems
                       2.8–2.10, 3.1–3.2, B.4, B.12, Lemmas B.13–B.14).
 ``repro.analysis``  — experiment statistics, tables and series builders.
+``repro.api``       — the unified solver facade: ``Instance`` +
+                      ``solve()`` + ``SolveReport`` over the algorithm
+                      registry (the preferred entry point).
 ``repro.experiments`` — experiment registry, deterministic runner and
                       versioned ``BENCH_*.json`` artifacts (imported
                       lazily; see ``python -m repro bench --list``).
 
 Quickstart::
 
-    import repro
+    from repro.api import Instance, solve
     from repro.graphs import gnp_graph, assign_node_weights
 
     g = assign_node_weights(gnp_graph(100, 0.05, seed=1), 64, seed=2)
-    result = repro.core.maxis_local_ratio_layers(g, seed=3)
-    print(len(result.independent_set), result.rounds)
+    report = solve(Instance(g, seed=3), "maxis-layers")
+    print(report.size, report.rounds)
 """
 
 from . import analysis, congest, core, graphs, matching, mis
+from . import api
 from .errors import (
     AlgorithmContractViolation,
     BandwidthViolation,
@@ -45,6 +49,7 @@ __all__ = [
     "RoundLimitExceeded",
     "SimulationError",
     "analysis",
+    "api",
     "congest",
     "core",
     "graphs",

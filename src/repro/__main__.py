@@ -5,13 +5,20 @@ Commands
 ``maxis``     run a MaxIS algorithm on a generated workload
 ``matching``  run a matching algorithm on a generated workload
 ``bench``     run a registered experiment and emit a JSON artifact
-``info``      print the library's algorithm inventory
+``info``      print the library's algorithm inventory (``--json`` for
+              the machine-readable :mod:`repro.api` registry)
+
+The ``maxis`` and ``matching`` commands are thin views over the
+:mod:`repro.api` algorithm registry: every ``--algorithm`` choice is a
+registered :class:`~repro.api.AlgorithmSpec`, dispatched through
+:func:`repro.api.solve`.
 
 Examples::
 
     python -m repro maxis --algorithm layers --nodes 60 --max-weight 64
     python -m repro matching --algorithm fast2eps --nodes 40 --eps 0.5
     python -m repro matching --algorithm oneeps --nodes 30 --export out.csv
+    python -m repro info --json
     python -m repro bench --list
     python -m repro bench smoke --json -
     python -m repro bench table1 --section t1_1a --output out/table1.json
@@ -21,37 +28,15 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from .analysis import (
-    approximation_ratio,
-    render_artifact,
-    render_table,
-    write_rows,
-)
-from .core import (
-    fast_matching_2eps,
-    fast_matching_weighted_2eps,
-    general_proposal_matching,
-    local_matching_1eps,
-    matching_local_ratio,
-    maxis_local_ratio_coloring,
-    maxis_local_ratio_layers,
-    weight_group_matching,
-)
-from .graphs import (
-    assign_edge_weights,
-    assign_node_weights,
-    gnp_graph,
-    max_degree,
-)
-from .matching import optimum_cardinality, optimum_weight
-from .mis import exact_mwis, mwis_weight
+from .analysis import render_artifact, render_table, write_rows
+from .api import cli_names, list_algorithms, random_instance, solve
 
-MAXIS_ALGORITHMS = ("layers", "coloring")
-MATCHING_ALGORITHMS = ("lines", "groups", "fast2eps", "fast2eps-weighted",
-                       "oneeps", "proposal")
+MAXIS_ALGORITHMS = cli_names("maxis")
+MATCHING_ALGORITHMS = cli_names("matching")
 
 #: Exact oracles are exponential (MWIS) or cubic (Edmonds); cap where we
 #: compute reference optima by default.
@@ -117,102 +102,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="render an existing artifact file as tables "
                             "and exit (no experiment is run)")
 
-    sub.add_parser("info", help="print the algorithm inventory")
+    info = sub.add_parser("info", help="print the algorithm inventory")
+    info.add_argument("--json", action="store_true", dest="json_registry",
+                      help="emit the machine-readable algorithm registry")
     return parser
 
 
-def _run_maxis(args: argparse.Namespace) -> dict:
-    graph = assign_node_weights(
-        gnp_graph(args.nodes, args.edge_probability, seed=args.seed),
-        args.max_weight, seed=args.seed + 1,
-    )
-    if args.algorithm == "layers":
-        result = maxis_local_ratio_layers(graph, seed=args.seed + 2)
-        rounds = result.rounds
-        weight = result.weight
-        size = len(result.independent_set)
-    else:
-        result = maxis_local_ratio_coloring(graph)
-        rounds = result.accounted_rounds
-        weight = result.weight
-        size = len(result.independent_set)
-    row = {
-        "problem": "maxis",
-        "algorithm": args.algorithm,
-        "n": args.nodes,
-        "delta": max_degree(graph),
-        "size": size,
-        "weight": weight,
-        "rounds": rounds,
-        "bound": max(1, max_degree(graph)),
-    }
-    if not args.skip_oracle and args.nodes <= ORACLE_NODE_LIMIT:
-        optimum = mwis_weight(graph, exact_mwis(graph))
-        row["optimum"] = optimum
-        row["ratio"] = approximation_ratio(optimum, weight)
-    return row
+def _run_problem(args: argparse.Namespace, problem: str) -> dict:
+    """Run one registered algorithm on a generated workload.
 
+    Thin view over :func:`repro.api.solve`: the graph/weight/algorithm
+    seed layout (``seed``, ``seed+1``, ``seed+2``) is preserved by
+    :func:`repro.api.random_instance`, so results match the historical
+    per-algorithm dispatch bit-for-bit.
+    """
 
-def _run_matching(args: argparse.Namespace) -> dict:
-    graph = assign_edge_weights(
-        gnp_graph(args.nodes, args.edge_probability, seed=args.seed),
-        args.max_weight, seed=args.seed + 1,
+    instance = random_instance(
+        problem,
+        n=args.nodes,
+        p=args.edge_probability,
+        max_weight=args.max_weight,
+        seed=args.seed,
+        eps=getattr(args, "eps", 0.5),
     )
-    weighted_objective = True
-    if args.algorithm == "lines":
-        result = matching_local_ratio(graph, method="layers",
-                                      seed=args.seed + 2)
-        matching, weight, rounds = (result.matching, result.weight,
-                                    result.rounds)
-        bound: float = 2.0
-    elif args.algorithm == "groups":
-        result = weight_group_matching(graph, seed=args.seed + 2)
-        matching, weight, rounds = (result.matching, result.weight,
-                                    result.rounds)
-        bound = 2.0
-    elif args.algorithm == "fast2eps-weighted":
-        result = fast_matching_weighted_2eps(graph, eps=args.eps,
-                                             seed=args.seed + 2)
-        matching, weight, rounds = (result.matching, result.weight,
-                                    result.rounds)
-        bound = 2.0 + args.eps
-    elif args.algorithm == "fast2eps":
-        result = fast_matching_2eps(graph, eps=args.eps,
-                                    seed=args.seed + 2)
-        matching, weight, rounds = (result.matching,
-                                    len(result.matching), result.rounds)
-        bound = 2.0 + args.eps
-        weighted_objective = False
-    elif args.algorithm == "oneeps":
-        result = local_matching_1eps(graph, eps=args.eps,
-                                     seed=args.seed + 2)
-        matching, weight, rounds = (result.matching,
-                                    result.cardinality, result.rounds)
-        bound = 1.0 + args.eps
-        weighted_objective = False
-    else:  # proposal
-        matching, rounds, _ = general_proposal_matching(
-            graph, eps=args.eps, seed=args.seed + 2,
-        )
-        weight = len(matching)
-        bound = 2.0 + args.eps
-        weighted_objective = False
-    row = {
-        "problem": "matching",
-        "algorithm": args.algorithm,
-        "n": args.nodes,
-        "delta": max_degree(graph),
-        "size": len(matching),
-        "objective": weight,
-        "rounds": rounds,
-        "bound": bound,
-    }
-    if not args.skip_oracle:
-        optimum = (optimum_weight(graph) if weighted_objective
-                   else optimum_cardinality(graph))
-        row["optimum"] = optimum
-        row["ratio"] = approximation_ratio(optimum, weight)
-    return row
+    report = solve(instance, args.algorithm, problem=problem)
+    oracle = not args.skip_oracle and (
+        problem != "maxis" or args.nodes <= ORACLE_NODE_LIMIT
+    )
+    return report.as_row(oracle=oracle)
 
 
 def _run_bench(args: argparse.Namespace) -> int:
@@ -292,32 +209,22 @@ def _run_bench(args: argparse.Namespace) -> int:
     return 0 if artifact["summary"]["passed"] else 1
 
 
-def _info() -> str:
+def _info(as_json: bool = False) -> str:
+    """Render the :mod:`repro.api` registry (table or JSON)."""
+
+    from .api import registry_as_json
+
+    if as_json:
+        return json.dumps(registry_as_json(), indent=2, sort_keys=True)
     rows = [
-        {"command": "maxis --algorithm layers",
-         "paper": "Algorithm 2 (Thm 2.3)",
-         "guarantee": "Δ-approx, O(MIS·log W) rounds"},
-        {"command": "maxis --algorithm coloring",
-         "paper": "Algorithm 3",
-         "guarantee": "Δ-approx, O(Δ + log* n), deterministic"},
-        {"command": "matching --algorithm lines",
-         "paper": "Theorem 2.10",
-         "guarantee": "2-approx MWM"},
-        {"command": "matching --algorithm groups",
-         "paper": "footnote 5",
-         "guarantee": "2-approx MWM on G directly"},
-        {"command": "matching --algorithm fast2eps",
-         "paper": "Theorem 3.2",
-         "guarantee": "(2+ε)-approx MCM, O(log Δ/log log Δ)"},
-        {"command": "matching --algorithm fast2eps-weighted",
-         "paper": "Appendix B.1",
-         "guarantee": "(2+ε)-approx MWM"},
-        {"command": "matching --algorithm oneeps",
-         "paper": "Theorem B.4",
-         "guarantee": "(1+ε)-approx MCM"},
-        {"command": "matching --algorithm proposal",
-         "paper": "Appendix B.4",
-         "guarantee": "(2+ε)-approx MCM, proposal-based"},
+        {
+            "command": (f"{spec.problem} --algorithm {spec.cli}"
+                        if spec.cli is not None
+                        else f"solve(·, {spec.name!r})"),
+            "paper": spec.paper,
+            "guarantee": spec.guarantee,
+        }
+        for spec in list_algorithms()
     ]
     return render_table(rows, title="repro algorithm inventory")
 
@@ -325,13 +232,11 @@ def _info() -> str:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "info":
-        print(_info())
+        print(_info(as_json=args.json_registry))
         return 0
     if args.command == "bench":
         return _run_bench(args)
-    row = _run_maxis(args) if args.command == "maxis" else _run_matching(
-        args
-    )
+    row = _run_problem(args, args.command)
     print(render_table([row]))
     if args.export:
         path = write_rows([row], args.export)

@@ -1,0 +1,67 @@
+"""``repro.api`` — the unified solver facade.
+
+One call runs any of the library's MaxIS / matching / MIS algorithms
+and returns one report type::
+
+    from repro.api import Instance, solve
+
+    inst = Instance(graph, seed=3, eps=0.5)
+    report = solve(inst, "matching-fast2eps")
+    print(report.size, report.rounds, report.bound)
+    print(report.compare())          # exact optimum + achieved ratio
+
+The moving parts:
+
+* :class:`Instance` — graph + model (LOCAL/CONGEST) + ε + seed +
+  round/bandwidth budgets, the canonical problem description;
+* :class:`AlgorithmSpec` — one registry entry per algorithm (name,
+  problem kind, paper anchor, guarantee, capability flags, runner),
+  auto-populated from :mod:`repro.core`, :mod:`repro.mis` and
+  :mod:`repro.matching` by :mod:`repro.api.algorithms`;
+* :func:`solve` — the facade: resolves the spec, pins the model, runs,
+  certifies the solution;
+* :class:`SolveReport` — solution set + objective + validity
+  certificate + approximation-bound check + round ledger + simulator
+  metrics, replacing the per-algorithm result zoo at the API boundary.
+
+``python -m repro info --json`` emits :func:`registry_as_json`, and
+``python -m repro maxis/matching`` are thin views over this registry.
+The legacy entry points (``repro.core.maxis_local_ratio_layers`` and
+friends) remain supported; prefer this facade in new code.
+"""
+
+from .facade import solve
+from .instance import CONGEST, LOCAL, MODELS, Instance, random_instance
+from .registry import (
+    AlgorithmSpec,
+    UnknownAlgorithm,
+    UnsupportedModel,
+    algorithm,
+    cli_names,
+    get_algorithm,
+    list_algorithms,
+    register_algorithm,
+    registry_as_json,
+)
+from .report import SolveReport
+
+from . import algorithms  # noqa: F401  (registers the specs on import)
+
+__all__ = [
+    "AlgorithmSpec",
+    "CONGEST",
+    "Instance",
+    "LOCAL",
+    "MODELS",
+    "SolveReport",
+    "UnknownAlgorithm",
+    "UnsupportedModel",
+    "algorithm",
+    "cli_names",
+    "get_algorithm",
+    "list_algorithms",
+    "random_instance",
+    "register_algorithm",
+    "registry_as_json",
+    "solve",
+]

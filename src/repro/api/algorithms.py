@@ -1,0 +1,310 @@
+"""Registry entries for every solver the library ships.
+
+Each ``@algorithm`` block below wraps one legacy entry point from
+:mod:`repro.core`, :mod:`repro.mis` or :mod:`repro.matching` behind
+the uniform ``run(instance, **options) -> SolveReport`` signature.
+The wrappers are deliberately thin — same seeds, same defaults, same
+simulator construction as the historical call sites — so a facade run
+reproduces the legacy entry point bit-for-bit (the parity test suite
+``tests/api/test_facade_parity.py`` pins this).
+
+``**options`` carries the algorithm-specific knobs that are not
+instance data (an audit recorder, a layer trace, the NMIS ``k``, …);
+anything an experiment could previously pass to an adapter remains
+reachable here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..congest import RoundLedger
+from ..core import (
+    bipartite_matching_1eps,
+    bipartite_proposal_matching,
+    congest_matching_1eps,
+    fast_matching_2eps,
+    fast_matching_weighted_2eps,
+    general_proposal_matching,
+    local_matching_1eps,
+    matching_local_ratio,
+    maxis_local_ratio_coloring,
+    maxis_local_ratio_layers,
+    weight_group_matching,
+)
+from ..matching import (
+    bipartite_sides,
+    greedy_weighted_matching,
+    israeli_itai_matching,
+    matching_weight,
+)
+from ..mis import luby_mis
+from .instance import CONGEST, LOCAL, Instance
+from .registry import algorithm
+from .report import SolveReport
+
+
+def _report(instance: Instance, solution, objective, rounds,
+            ledger: Optional[RoundLedger] = None, metrics=None,
+            **extras) -> SolveReport:
+    """Assemble the run-specific half of a :class:`SolveReport`.
+
+    The registry identity (algorithm name, problem kind, guarantee
+    bound, weighted flag, model) is stamped by :func:`repro.api.solve`
+    from the resolved spec — the single source of truth — so runners
+    cannot mislabel their own reports.
+    """
+
+    return SolveReport(
+        algorithm="",
+        problem="",
+        instance=instance,
+        solution=frozenset(solution),
+        objective=objective,
+        weighted=False,
+        rounds=rounds,
+        model=instance.model or "",
+        ledger=ledger,
+        metrics=metrics,
+        extras=extras,
+    )
+
+
+# ----------------------------------------------------------------------
+# MaxIS (Algorithms 2 and 3) and the MIS baseline
+# ----------------------------------------------------------------------
+@algorithm(name="maxis-layers", problem="maxis", cli="layers",
+           paper="Algorithm 2 (Thm 2.3)",
+           guarantee="Δ-approx MWIS, O(MIS·log W) rounds",
+           bound=lambda inst: float(max(1, inst.delta)),
+           weighted=True, tags=("paper",))
+def _run_maxis_layers(instance: Instance, trace=None) -> SolveReport:
+    network = instance.network()
+    result = maxis_local_ratio_layers(
+        instance.graph, seed=instance.seed, network=network,
+        max_rounds=instance.max_rounds, trace=trace,
+    )
+    return _report(instance, result.independent_set,
+                   result.weight, result.rounds, metrics=network.metrics,
+                   trace=trace)
+
+
+@algorithm(name="maxis-coloring", problem="maxis", cli="coloring",
+           paper="Algorithm 3",
+           guarantee="Δ-approx MWIS, O(Δ + log* n), deterministic",
+           bound=lambda inst: float(max(1, inst.delta)),
+           weighted=True, deterministic=True, tags=("paper",))
+def _run_maxis_coloring(instance: Instance, coloring=None) -> SolveReport:
+    network = instance.network()
+    result = maxis_local_ratio_coloring(
+        instance.graph, network=network, coloring=coloring,
+        max_rounds=instance.max_rounds,
+    )
+    return _report(instance, result.independent_set,
+                   result.weight, result.accounted_rounds,
+                   metrics=network.metrics,
+                   local_ratio_rounds=result.local_ratio_rounds,
+                   accounted_rounds=result.accounted_rounds,
+                   measured_rounds=result.measured_rounds,
+                   coloring=result.coloring)
+
+
+@algorithm(name="mis-luby", problem="mis",
+           paper="Luby 1986",
+           guarantee="maximal independent set, O(log n) rounds w.h.p.",
+           tags=("baseline",))
+def _run_mis_luby(instance: Instance) -> SolveReport:
+    network = instance.network()
+    mis, rounds = luby_mis(instance.graph, seed=instance.seed,
+                           network=network)
+    return _report(instance, mis, len(mis), rounds,
+                   metrics=network.metrics)
+
+
+# ----------------------------------------------------------------------
+# 2-approximate weighted matchings (Theorem 2.10 / footnote 5)
+# ----------------------------------------------------------------------
+@algorithm(name="matching-lines", problem="matching", cli="lines",
+           paper="Theorem 2.10",
+           guarantee="2-approx MWM via MaxIS on L(G)",
+           bound=lambda inst: 2.0, weighted=True, tags=("paper",))
+def _run_matching_lines(instance: Instance, method: str = "layers",
+                        audit=None) -> SolveReport:
+    result = matching_local_ratio(instance.graph, method=method,
+                                  seed=instance.seed, audit=audit,
+                                  max_rounds=instance.max_rounds)
+    return _report(instance, result.matching,
+                   result.weight, result.rounds, audit=result.audit,
+                   method=method)
+
+
+@algorithm(name="matching-groups", problem="matching", cli="groups",
+           paper="footnote 5",
+           guarantee="2-approx MWM on G directly (weight groups)",
+           bound=lambda inst: 2.0, weighted=True, tags=("paper",))
+def _run_matching_groups(instance: Instance,
+                         mm_rounds_charge=None) -> SolveReport:
+    result = weight_group_matching(instance.graph, seed=instance.seed,
+                                   mm_rounds_charge=mm_rounds_charge)
+    return _report(instance, result.matching,
+                   result.weight, result.rounds, ledger=result.ledger,
+                   iterations=result.iterations)
+
+
+# ----------------------------------------------------------------------
+# Fast (2+ε) matchings (Section 3 / Appendix B.1)
+# ----------------------------------------------------------------------
+@algorithm(name="matching-fast2eps", problem="matching", cli="fast2eps",
+           paper="Theorem 3.2",
+           guarantee="(2+ε)-approx MCM, O(log Δ/log log Δ) rounds",
+           bound=lambda inst: 2.0 + inst.eps, uses_eps=True,
+           tags=("paper",))
+def _run_fast2eps(instance: Instance, k=None, beta: float = 4.0
+                  ) -> SolveReport:
+    kwargs = {} if k is None else {"k": k}
+    result = fast_matching_2eps(instance.graph, eps=instance.eps,
+                                seed=instance.seed, beta=beta, **kwargs)
+    return _report(instance, result.matching,
+                   len(result.matching), result.rounds,
+                   ledger=result.ledger,
+                   unlucky_edges=result.unlucky_edges)
+
+
+@algorithm(name="matching-fast2eps-weighted", problem="matching",
+           cli="fast2eps-weighted", paper="Appendix B.1",
+           guarantee="(2+ε)-approx MWM",
+           bound=lambda inst: 2.0 + inst.eps, weighted=True,
+           uses_eps=True, tags=("paper",))
+def _run_fast2eps_weighted(instance: Instance, beta_bucket=None
+                           ) -> SolveReport:
+    kwargs = {} if beta_bucket is None else {"beta_bucket": beta_bucket}
+    result = fast_matching_weighted_2eps(instance.graph, eps=instance.eps,
+                                         seed=instance.seed, **kwargs)
+    return _report(instance, result.matching,
+                   result.weight, result.rounds, ledger=result.ledger,
+                   unlucky_edges=result.unlucky_edges)
+
+
+# ----------------------------------------------------------------------
+# (1+ε) matchings (Appendix B.3 / Theorems B.4, B.12)
+# ----------------------------------------------------------------------
+@algorithm(name="matching-oneeps", problem="matching", cli="oneeps",
+           paper="Theorem B.4",
+           guarantee="(1+ε)-approx MCM, LOCAL model",
+           bound=lambda inst: 1.0 + inst.eps, uses_eps=True,
+           models=(LOCAL,), tags=("paper",))
+def _run_oneeps_local(instance: Instance, k: float = 2.0,
+                      failure_delta=None, path_cap: int = 200_000,
+                      initial_matching=None) -> SolveReport:
+    result = local_matching_1eps(
+        instance.graph, eps=instance.eps, seed=instance.seed, k=k,
+        failure_delta=failure_delta, path_cap=path_cap,
+        initial_matching=initial_matching,
+    )
+    return _report(instance, result.matching,
+                   result.cardinality, result.rounds, ledger=result.ledger,
+                   deactivated=result.deactivated,
+                   truncated_phases=result.truncated_phases)
+
+
+@algorithm(name="matching-oneeps-congest", problem="matching",
+           cli="oneeps-congest", paper="Theorem B.12",
+           guarantee="(1+ε)-approx MCM, CONGEST model",
+           bound=lambda inst: 1.0 + inst.eps, uses_eps=True,
+           models=(CONGEST,), tags=("paper",))
+def _run_oneeps_congest(instance: Instance, k: float = 2.0,
+                        failure_delta=None, stages=None,
+                        max_iterations=None) -> SolveReport:
+    result = congest_matching_1eps(
+        instance.graph, eps=instance.eps, seed=instance.seed, k=k,
+        failure_delta=failure_delta, stages=stages,
+        max_iterations=max_iterations,
+    )
+    return _report(instance, result.matching,
+                   result.cardinality, result.rounds, ledger=result.ledger,
+                   deactivated=result.deactivated, stages=result.stages)
+
+
+@algorithm(name="matching-oneeps-bipartite", problem="matching",
+           paper="Appendix B.3",
+           guarantee="(1+ε)-approx MCM on bipartite instances",
+           bound=lambda inst: 1.0 + inst.eps, uses_eps=True,
+           requires_bipartite=True, tags=("paper",))
+def _run_oneeps_bipartite(instance: Instance, k: float = 2.0,
+                          failure_delta=None, initial_matching=None,
+                          max_iterations=None) -> SolveReport:
+    left, right = bipartite_sides(instance.graph)
+    ledger = RoundLedger()
+    matching, deactivated = bipartite_matching_1eps(
+        instance.graph, left, right, eps=instance.eps, seed=instance.seed,
+        k=k, failure_delta=failure_delta,
+        initial_matching=initial_matching, ledger=ledger,
+        max_iterations=max_iterations,
+    )
+    return _report(instance, matching,
+                   len(matching), ledger.total, ledger=ledger,
+                   deactivated=deactivated)
+
+
+# ----------------------------------------------------------------------
+# Proposal matchings (Appendix B.4)
+# ----------------------------------------------------------------------
+@algorithm(name="matching-proposal", problem="matching", cli="proposal",
+           paper="Lemma B.14",
+           guarantee="(2+ε)-approx MCM, proposal-based",
+           bound=lambda inst: 2.0 + inst.eps, uses_eps=True,
+           tags=("paper",))
+def _run_proposal(instance: Instance, k=None, repetitions=None
+                  ) -> SolveReport:
+    matching, rounds, ledger = general_proposal_matching(
+        instance.graph, eps=instance.eps, k=k, seed=instance.seed,
+        repetitions=repetitions,
+    )
+    return _report(instance, matching, len(matching),
+                   rounds, ledger=ledger)
+
+
+@algorithm(name="matching-proposal-bipartite", problem="matching",
+           paper="Lemma B.13",
+           guarantee="(2+ε)-approx MCM on bipartite instances",
+           bound=lambda inst: 2.0 + inst.eps, uses_eps=True,
+           requires_bipartite=True, tags=("paper",))
+def _run_proposal_bipartite(instance: Instance, k=None, phases=None
+                            ) -> SolveReport:
+    left, right = bipartite_sides(instance.graph)
+    network = instance.network()
+    result = bipartite_proposal_matching(
+        instance.graph, left, right, eps=instance.eps, k=k,
+        seed=instance.seed, network=network, phases=phases,
+    )
+    return _report(instance, result.matching,
+                   len(result.matching), result.rounds,
+                   metrics=network.metrics, unlucky=result.unlucky,
+                   phases=result.phases)
+
+
+# ----------------------------------------------------------------------
+# Baselines
+# ----------------------------------------------------------------------
+@algorithm(name="matching-israeli-itai", problem="matching",
+           cli="israeli-itai", paper="Israeli–Itai 1986",
+           guarantee="maximal matching (2-approx MCM), O(log n) rounds",
+           bound=lambda inst: 2.0, tags=("baseline",))
+def _run_israeli_itai(instance: Instance) -> SolveReport:
+    network = instance.network()
+    matching, rounds = israeli_itai_matching(instance.graph,
+                                             seed=instance.seed,
+                                             network=network)
+    return _report(instance, matching,
+                   len(matching), rounds, metrics=network.metrics)
+
+
+@algorithm(name="matching-greedy", problem="matching", cli="greedy",
+           paper="folklore",
+           guarantee="2-approx MWM, sequential greedy baseline",
+           bound=lambda inst: 2.0, weighted=True, deterministic=True,
+           tags=("baseline", "sequential"))
+def _run_greedy(instance: Instance) -> SolveReport:
+    matching = greedy_weighted_matching(instance.graph)
+    return _report(instance, matching,
+                   matching_weight(instance.graph, matching), 0)

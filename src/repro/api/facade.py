@@ -1,0 +1,55 @@
+"""``solve`` — the single entry point over every registered algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Union
+
+import networkx as nx
+
+from .instance import Instance
+from .registry import AlgorithmSpec, get_algorithm
+from .report import SolveReport
+
+
+def solve(
+    instance: Union[Instance, nx.Graph],
+    algorithm: str,
+    problem: Optional[str] = None,
+    **options,
+) -> SolveReport:
+    """Run ``algorithm`` on ``instance`` and return a :class:`SolveReport`.
+
+    ``instance`` may be a bare graph, which is wrapped in a default
+    :class:`Instance` (seed 0, ε = 0.5, native model) — convenient in
+    notebooks; pass a real ``Instance`` for controlled runs.
+    ``algorithm`` is a registry name (``"maxis-layers"``) or, together
+    with ``problem``, a CLI short name (``"layers"``).  ``**options``
+    forwards algorithm-specific knobs (``trace=``, ``audit=``, ``k=``,
+    …) to the underlying implementation.
+
+    The run executes with exactly the legacy entry point's defaults and
+    seed handling, so fixed-seed results are bit-for-bit identical to
+    calling :mod:`repro.core` directly; the report's solution is
+    validated (certified) before it is returned.
+    """
+
+    if isinstance(instance, nx.Graph):
+        instance = Instance(instance)
+    spec: AlgorithmSpec = get_algorithm(algorithm, problem=problem)
+    model = spec.resolve_model(instance)
+    if instance.model != model:
+        instance = replace(instance, model=model)
+    report: SolveReport = spec.run(instance, **options)
+    # The resolved spec is authoritative for the registry identity; a
+    # runner that mislabels its own _report() call cannot mis-stamp
+    # the problem kind, guarantee bound or objective flavour.
+    report.algorithm = spec.name
+    report.problem = spec.problem
+    report.weighted = spec.weighted
+    report.bound = spec.bound(instance) if spec.bound is not None else None
+    report.model = model
+    return report.certify()
+
+
+__all__ = ["solve"]

@@ -1,0 +1,138 @@
+"""The canonical problem instance consumed by :func:`repro.api.solve`.
+
+An :class:`Instance` bundles everything an algorithm execution depends
+on — the weighted graph, the communication model, the accuracy knob ε,
+the RNG seed, and optional round/bandwidth budgets — so every solver in
+the registry can be invoked through one uniform signature.  Weights
+live on the graph itself (node/edge attribute ``weight``, default 1),
+which is the convention used throughout the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import networkx as nx
+
+from ..congest import SynchronousNetwork
+from ..errors import InvalidInstance
+from ..graphs import (
+    assign_edge_weights,
+    assign_node_weights,
+    gnp_graph,
+    max_degree,
+)
+
+LOCAL = "LOCAL"
+CONGEST = "CONGEST"
+MODELS = (LOCAL, CONGEST)
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One solvable problem instance.
+
+    Parameters
+    ----------
+    graph:
+        The input graph; node weights (MaxIS) and edge weights
+        (matching) are read from the ``weight`` attribute, default 1.
+    model:
+        ``"LOCAL"``, ``"CONGEST"``, or ``None`` meaning "whatever the
+        chosen algorithm natively runs in" (resolved by ``solve``).
+    eps:
+        Accuracy parameter for the (1+ε)/(2+ε) algorithms; ignored by
+        algorithms whose spec has ``uses_eps=False``.
+    seed:
+        RNG seed handed verbatim to the algorithm, so a fixed
+        ``(instance, algorithm)`` pair reproduces a run bit-for-bit.
+    max_rounds:
+        Optional round budget forwarded to algorithms that accept one
+        (they otherwise use their paper-derived budgets).
+    bandwidth_factor:
+        CONGEST per-edge bandwidth is ``bandwidth_factor · ⌈log2 n⌉``
+        bits per round (the simulator default is 8).
+    strict:
+        When true, simulator-backed algorithms raise
+        :class:`~repro.errors.BandwidthViolation` on CONGEST overruns
+        instead of recording them in the metrics.
+    """
+
+    graph: nx.Graph
+    model: Optional[str] = None
+    eps: float = 0.5
+    seed: int = 0
+    max_rounds: Optional[int] = None
+    bandwidth_factor: int = 8
+    strict: bool = False
+
+    def __post_init__(self) -> None:
+        if self.model is not None and self.model not in MODELS:
+            raise InvalidInstance(
+                f"unknown model {self.model!r} (expected one of {MODELS})"
+            )
+        if self.eps <= 0:
+            raise InvalidInstance(f"eps must be positive, got {self.eps}")
+
+    # -- derived views -------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def m(self) -> int:
+        return self.graph.number_of_edges()
+
+    @property
+    def delta(self) -> int:
+        """Maximum degree Δ of the instance graph."""
+
+        return max_degree(self.graph)
+
+    def with_model(self, model: str) -> "Instance":
+        """A copy of this instance pinned to ``model``."""
+
+        return replace(self, model=model)
+
+    def network(self, model: Optional[str] = None) -> SynchronousNetwork:
+        """A fresh simulator for this instance (seeded, metered)."""
+
+        return SynchronousNetwork(
+            self.graph,
+            model=model or self.model or CONGEST,
+            seed=self.seed,
+            bandwidth_factor=self.bandwidth_factor,
+            strict=self.strict,
+        )
+
+
+def random_instance(
+    problem: str,
+    n: int = 40,
+    p: float = 0.12,
+    max_weight: int = 64,
+    seed: int = 0,
+    eps: float = 0.5,
+    model: Optional[str] = None,
+) -> Instance:
+    """A G(n, p) instance weighted for ``problem``, CLI-compatible.
+
+    Reproduces the historical seed layout of ``python -m repro``: the
+    graph uses ``seed``, the weights ``seed + 1``, and the algorithm
+    ``seed + 2`` — so CLI runs and facade runs agree bit-for-bit.
+    ``problem`` picks the weighting: node weights for ``"maxis"`` /
+    ``"mis"``, edge weights for ``"matching"``.
+    """
+
+    graph = gnp_graph(n, p, seed=seed)
+    if problem in ("maxis", "mis"):
+        assign_node_weights(graph, max_weight, seed=seed + 1)
+    elif problem == "matching":
+        assign_edge_weights(graph, max_weight, seed=seed + 1)
+    else:
+        raise InvalidInstance(f"unknown problem kind {problem!r}")
+    return Instance(graph, model=model, eps=eps, seed=seed + 2)
+
+
+__all__ = ["CONGEST", "Instance", "LOCAL", "MODELS", "random_instance"]

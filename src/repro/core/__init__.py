@@ -1,5 +1,21 @@
 """The paper's algorithms: local-ratio MaxIS, line-graph matching, and
-the time-optimal (2+ε)/(1+ε) matching approximations."""
+the time-optimal (2+ε)/(1+ε) matching approximations.
+
+.. deprecated:: entry points
+    The per-algorithm functions re-exported here
+    (``maxis_local_ratio_layers``, ``fast_matching_2eps``, …) and
+    their per-algorithm result dataclasses remain supported as the
+    implementation layer and as thin compatibility wrappers, but new
+    code should go through the unified facade instead::
+
+        from repro.api import Instance, solve
+        report = solve(Instance(graph, seed=3), "maxis-layers")
+
+    The facade runs the exact same code with the exact same seeds
+    (``tests/api/test_facade_parity.py`` pins bit-for-bit parity) and
+    returns one uniform :class:`repro.api.SolveReport` instead of a
+    per-algorithm result type.
+"""
 
 from .aggregation import (
     ALGORITHM_2_AGGREGATES,

@@ -14,6 +14,14 @@ the CI smoke gate — is a declarative
 * CI — the smoke-bench job runs ``python -m repro bench smoke --json -``
   and fails on schema violations or regressions past recorded bounds.
 
+Measurement adapters sit on the :mod:`repro.api` facade: every adapter
+that *runs* an algorithm dispatches through :func:`repro.api.solve`
+against the algorithm registry, so a new algorithm needs one registry
+entry plus (optionally) one small adapter that maps its
+:class:`~repro.api.SolveReport` onto the measure names a spec wants —
+no bespoke seed/ε/oracle plumbing (see
+:mod:`repro.experiments.measurements`).
+
 Artifact schema (``repro-bench/1``)
 -----------------------------------
 Running an experiment produces a single JSON document, canonically

@@ -10,49 +10,42 @@ of the simulated network when the algorithm runs through the
 simulator, else ``None``.  Adapters never touch wall-clock time — the
 runner owns timing — so trial records stay bit-deterministic.
 
-Oracle comparisons (exact MWIS / Edmonds) are opt-in per cell via the
-``oracle=True`` parameter because they are exponential/cubic and only
-affordable on small instances.
+Since the :mod:`repro.api` facade landed, adapters that *run* an
+algorithm are one-liners over :func:`repro.api.solve` — the shared
+``_solved`` helper owns the seed/ε plumbing that used to be
+copy-pasted per adapter, and the shared ``_oracle`` helper owns the
+opt-in exact-optimum comparison (exponential MWIS / cubic Edmonds, so
+only affordable on small instances and requested per cell via
+``oracle=True``).  Only the analytic adapters (budget formulas, decay
+curves, Figure-1 traversals) still reach into the library directly.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis import approximation_ratio
-from ..congest import CongestionAudit, SynchronousNetwork
+from ..api import Instance, SolveReport, solve
+from ..congest import CongestionAudit
 from ..core import (
     BipartiteAugmentingPhase,
     LayerTrace,
-    bipartite_proposal_matching,
-    congest_matching_1eps,
     enumerate_augmenting_paths,
-    fast_matching_2eps,
-    fast_matching_weighted_2eps,
-    general_proposal_matching,
     lemma_b13_rounds,
-    local_matching_1eps,
-    matching_local_ratio,
-    maxis_local_ratio_coloring,
-    maxis_local_ratio_layers,
     optimal_k,
     residual_decay_series,
     theorem_2_8_simulation_cost,
     theorem_3_1_budget,
-    weight_group_matching,
 )
 from ..graphs import max_degree
 from ..matching import (
     bipartite_sides,
-    greedy_weighted_matching,
-    israeli_itai_matching,
     matching_weight,
     optimum_cardinality,
     optimum_weight,
 )
 from ..mis import (
     GoldenRoundStats,
-    exact_mwis,
-    luby_mis,
-    mwis_weight,
     nearly_maximal_is,
     nmis_plus_luby_mis,
 )
@@ -62,20 +55,48 @@ __all__ = ["register_measurement"]
 
 
 # ----------------------------------------------------------------------
+# shared facade/oracle plumbing (one copy, not one per adapter)
+# ----------------------------------------------------------------------
+def _solved(graph, seed, algorithm: str, eps: Optional[float] = None,
+            model: Optional[str] = None, **options) -> SolveReport:
+    """Run ``algorithm`` through the facade with the adapter's seed/ε.
+
+    ``eps=None`` keeps the :class:`~repro.api.Instance` default so
+    ε-oblivious algorithms are not parameterized spuriously.
+    """
+
+    kwargs = {} if eps is None else {"eps": eps}
+    return solve(Instance(graph, model=model, seed=seed, **kwargs),
+                 algorithm, **options)
+
+
+def _oracle(measures: dict, report: SolveReport, opt_key: str = "optimum",
+            ratio_key: Optional[str] = "ratio",
+            ok_key: Optional[str] = None) -> dict:
+    """Attach the exact-optimum comparison under the adapter's key names."""
+
+    comparison = report.compare()
+    measures[opt_key] = comparison["optimum"]
+    if ratio_key is not None:
+        measures[ratio_key] = comparison["ratio"]
+    if ok_key is not None:
+        measures[ok_key] = comparison["within_bound"]
+    return measures
+
+
+# ----------------------------------------------------------------------
 # MaxIS (Algorithms 2 and 3)
 # ----------------------------------------------------------------------
 @register_measurement("maxis_layers")
 def _maxis_layers(graph, seed, oracle=False, trace=False):
     """Algorithm 2 (local-ratio by weight layers) on the simulator."""
 
-    network = SynchronousNetwork(graph, seed=seed)
     layer_trace = LayerTrace() if trace else None
-    result = maxis_local_ratio_layers(graph, seed=seed, network=network,
-                                      trace=layer_trace)
+    report = _solved(graph, seed, "maxis-layers", trace=layer_trace)
     measures = {
-        "rounds": result.rounds,
-        "size": len(result.independent_set),
-        "weight": result.weight,
+        "rounds": report.rounds,
+        "size": report.size,
+        "weight": report.objective,
         "delta": max_degree(graph),
     }
     if trace:
@@ -87,10 +108,8 @@ def _maxis_layers(graph, seed, oracle=False, trace=False):
         )
         measures["initial_top"] = series[0] if series else 0
     if oracle:
-        optimum = mwis_weight(graph, exact_mwis(graph))
-        measures["optimum"] = optimum
-        measures["ratio"] = approximation_ratio(optimum, result.weight)
-    return measures, network.metrics
+        _oracle(measures, report)
+    return measures, report.metrics
 
 
 @register_measurement("maxis_coloring")
@@ -98,25 +117,20 @@ def _maxis_coloring(graph, seed, oracle=False, check_deterministic=False):
     """Algorithm 3 (local-ratio by coloring); ``seed`` is unused (it is
     deterministic) but kept for the uniform signature."""
 
-    network = SynchronousNetwork(graph, seed=seed)
-    result = maxis_local_ratio_coloring(graph, network=network)
+    report = _solved(graph, seed, "maxis-coloring")
     measures = {
-        "lr_rounds": result.local_ratio_rounds,
-        "accounted": result.accounted_rounds,
-        "size": len(result.independent_set),
-        "weight": result.weight,
+        "lr_rounds": report.extras["local_ratio_rounds"],
+        "accounted": report.extras["accounted_rounds"],
+        "size": report.size,
+        "weight": report.objective,
         "delta": max_degree(graph),
     }
     if check_deterministic:
-        again = maxis_local_ratio_coloring(graph)
-        measures["deterministic"] = (
-            again.independent_set == result.independent_set
-        )
+        again = _solved(graph, 0, "maxis-coloring")
+        measures["deterministic"] = (again.solution == report.solution)
     if oracle:
-        optimum = mwis_weight(graph, exact_mwis(graph))
-        measures["optimum"] = optimum
-        measures["ratio"] = approximation_ratio(optimum, result.weight)
-    return measures, network.metrics
+        _oracle(measures, report)
+    return measures, report.metrics
 
 
 # ----------------------------------------------------------------------
@@ -127,21 +141,19 @@ def _matching_lines(graph, seed, method="layers", oracle=False, audit=False):
     """2-approx MWM via MaxIS on the line graph (Theorem 2.10)."""
 
     congestion = CongestionAudit() if audit else None
-    result = matching_local_ratio(graph, method=method, seed=seed,
-                                  audit=congestion)
+    report = _solved(graph, seed, "matching-lines", method=method,
+                     audit=congestion)
     measures = {
-        "rounds": result.rounds,
-        "size": len(result.matching),
-        "weight": result.weight,
+        "rounds": report.rounds,
+        "size": report.size,
+        "weight": report.objective,
         "delta": max_degree(graph),
     }
     if audit:
         measures["naive_max"] = congestion.max_naive_load()
         measures["aggregated_max"] = congestion.max_aggregated_load()
     if oracle:
-        optimum = optimum_weight(graph)
-        measures["optimum"] = optimum
-        measures["ratio"] = approximation_ratio(optimum, result.weight)
+        _oracle(measures, report)
     return measures, None
 
 
@@ -149,16 +161,14 @@ def _matching_lines(graph, seed, method="layers", oracle=False, audit=False):
 def _weight_groups(graph, seed, oracle=False):
     """Footnote-5 weight-group 2-approx MWM directly on G."""
 
-    result = weight_group_matching(graph, seed=seed)
+    report = _solved(graph, seed, "matching-groups")
     measures = {
-        "rounds": result.rounds,
-        "size": len(result.matching),
-        "weight": result.weight,
+        "rounds": report.rounds,
+        "size": report.size,
+        "weight": report.objective,
     }
     if oracle:
-        optimum = optimum_weight(graph)
-        measures["optimum"] = optimum
-        measures["ratio"] = approximation_ratio(optimum, result.weight)
+        _oracle(measures, report)
     return measures, None
 
 
@@ -166,18 +176,14 @@ def _weight_groups(graph, seed, oracle=False):
 def _fast2eps(graph, seed, eps=0.5, k=None, oracle=False):
     """(2+ε)-approx MCM (Theorem 3.2)."""
 
-    kwargs = {} if k is None else {"k": k}
-    result = fast_matching_2eps(graph, eps=eps, seed=seed, **kwargs)
+    report = _solved(graph, seed, "matching-fast2eps", eps=eps, k=k)
     measures = {
-        "rounds": result.rounds,
-        "size": len(result.matching),
+        "rounds": report.rounds,
+        "size": report.size,
         "delta": max_degree(graph),
     }
     if oracle:
-        optimum = optimum_cardinality(graph)
-        measures["optimum"] = optimum
-        measures["ratio"] = approximation_ratio(optimum,
-                                                len(result.matching))
+        _oracle(measures, report)
     return measures, None
 
 
@@ -185,17 +191,15 @@ def _fast2eps(graph, seed, eps=0.5, k=None, oracle=False):
 def _fast2eps_weighted(graph, seed, eps=0.5, beta_bucket=None, oracle=False):
     """(2+ε)-approx MWM (Appendix B.1 pipeline)."""
 
-    kwargs = {} if beta_bucket is None else {"beta_bucket": beta_bucket}
-    result = fast_matching_weighted_2eps(graph, eps=eps, seed=seed, **kwargs)
+    report = _solved(graph, seed, "matching-fast2eps-weighted", eps=eps,
+                     beta_bucket=beta_bucket)
     measures = {
-        "rounds": result.rounds,
-        "size": len(result.matching),
-        "weight": result.weight,
+        "rounds": report.rounds,
+        "size": report.size,
+        "weight": report.objective,
     }
     if oracle:
-        optimum = optimum_weight(graph)
-        measures["optimum"] = optimum
-        measures["ratio"] = approximation_ratio(optimum, result.weight)
+        _oracle(measures, report)
     return measures, None
 
 
@@ -203,14 +207,14 @@ def _fast2eps_weighted(graph, seed, eps=0.5, beta_bucket=None, oracle=False):
 def _oneeps_local(graph, seed, eps=0.5, oracle=False):
     """(1+ε)-approx MCM, LOCAL model (Theorem B.4)."""
 
-    result = local_matching_1eps(graph, eps=eps, seed=seed)
+    report = _solved(graph, seed, "matching-oneeps", eps=eps)
     measures = {
-        "rounds": result.rounds,
-        "found": result.cardinality,
-        "deactivated": len(result.deactivated),
+        "rounds": report.rounds,
+        "found": report.objective,
+        "deactivated": len(report.extras["deactivated"]),
     }
     if oracle:
-        measures["opt"] = optimum_cardinality(graph)
+        _oracle(measures, report, opt_key="opt", ratio_key=None)
     return measures, None
 
 
@@ -218,15 +222,15 @@ def _oneeps_local(graph, seed, eps=0.5, oracle=False):
 def _oneeps_congest(graph, seed, eps=0.5, oracle=False):
     """(1+ε)-approx MCM, CONGEST model (Theorem B.7)."""
 
-    result = congest_matching_1eps(graph, eps=eps, seed=seed)
+    report = _solved(graph, seed, "matching-oneeps-congest", eps=eps)
     measures = {
-        "rounds": result.rounds,
-        "found": result.cardinality,
-        "deactivated": len(result.deactivated),
-        "stages": result.stages,
+        "rounds": report.rounds,
+        "found": report.objective,
+        "deactivated": len(report.extras["deactivated"]),
+        "stages": report.extras["stages"],
     }
     if oracle:
-        measures["opt"] = optimum_cardinality(graph)
+        _oracle(measures, report, opt_key="opt", ratio_key=None)
     return measures, None
 
 
@@ -237,28 +241,27 @@ def _oneeps_congest(graph, seed, eps=0.5, oracle=False):
 def _proposal_bipartite(graph, seed, phases=None):
     """Lemma B.13 proposal rounds on a bipartite instance."""
 
-    left, right = bipartite_sides(graph)
-    network = SynchronousNetwork(graph, seed=seed)
-    result = bipartite_proposal_matching(graph, left, right, seed=seed,
-                                         network=network, phases=phases)
+    left, _right = bipartite_sides(graph)
+    # eps matches the legacy bipartite_proposal_matching default (0.25):
+    # it sizes the k/phase budget when the grid omits `phases`.
+    report = _solved(graph, seed, "matching-proposal-bipartite", eps=0.25,
+                     phases=phases)
     return {
-        "matched": len(result.matching),
-        "unlucky_left": len(result.unlucky & left),
+        "matched": report.size,
+        "unlucky_left": len(report.extras["unlucky"] & left),
         "left_size": len(left),
-    }, network.metrics
+    }, report.metrics
 
 
 @register_measurement("proposal_general")
 def _proposal_general(graph, seed, eps=0.25, oracle=False):
     """Lemma B.14 general-graph wrapper."""
 
-    matching, rounds, _ledger = general_proposal_matching(graph, eps=eps,
-                                                          seed=seed)
-    measures = {"found": len(matching), "rounds": rounds}
+    report = _solved(graph, seed, "matching-proposal", eps=eps)
+    measures = {"found": report.size, "rounds": report.rounds}
     if oracle:
-        opt = optimum_cardinality(graph)
-        measures["opt"] = opt
-        measures["ok"] = (2 + eps) * len(matching) >= opt
+        _oracle(measures, report, opt_key="opt", ratio_key=None,
+                ok_key="ok")
     return measures, None
 
 
@@ -281,13 +284,12 @@ def _proposal_budget(graph, seed, delta=8, eps=0.25):
 def _mis_engines(graph, seed):
     """Luby vs the NMIS+Luby composite on the same instance/seed."""
 
-    network = SynchronousNetwork(graph, seed=seed)
-    _, luby_rounds = luby_mis(graph, seed=seed, network=network)
+    luby = _solved(graph, seed, "mis-luby")
     _, composite_rounds = nmis_plus_luby_mis(graph, seed=seed)
     return {
-        "luby_rounds": luby_rounds,
+        "luby_rounds": luby.rounds,
         "composite_rounds": composite_rounds,
-    }, network.metrics
+    }, luby.metrics
 
 
 @register_measurement("residual_decay")
@@ -358,17 +360,16 @@ def _weighted_matchers(graph, seed, eps=0.5):
     """Ours vs maximal/greedy baselines on one weighted instance."""
 
     opt = optimum_weight(graph)
-    local_ratio = matching_local_ratio(graph, method="layers", seed=seed)
-    fast = fast_matching_weighted_2eps(graph, eps=eps, seed=seed)
-    maximal, _ = israeli_itai_matching(graph, seed=seed)
-    greedy = greedy_weighted_matching(graph)
+    local_ratio = _solved(graph, seed, "matching-lines")
+    fast = _solved(graph, seed, "matching-fast2eps-weighted", eps=eps)
+    maximal = _solved(graph, seed, "matching-israeli-itai")
+    greedy = _solved(graph, seed, "matching-greedy")
     return {
-        "lr2_ratio": approximation_ratio(opt, local_ratio.weight),
-        "fast2eps_ratio": approximation_ratio(opt, fast.weight),
+        "lr2_ratio": approximation_ratio(opt, local_ratio.objective),
+        "fast2eps_ratio": approximation_ratio(opt, fast.objective),
         "maximal_ratio": approximation_ratio(
-            opt, matching_weight(graph, maximal)),
-        "greedy_ratio": approximation_ratio(
-            opt, matching_weight(graph, greedy)),
+            opt, matching_weight(graph, maximal.solution)),
+        "greedy_ratio": approximation_ratio(opt, greedy.objective),
     }, None
 
 
@@ -377,12 +378,12 @@ def _lines_vs_groups(graph, seed):
     """L(G) formulation vs footnote-5 weight groups on one instance."""
 
     opt = optimum_weight(graph)
-    via_lines = matching_local_ratio(graph, method="layers", seed=seed)
-    direct = weight_group_matching(graph, seed=seed)
+    via_lines = _solved(graph, seed, "matching-lines")
+    direct = _solved(graph, seed, "matching-groups")
     return {
-        "lines_ratio": approximation_ratio(opt, via_lines.weight),
+        "lines_ratio": approximation_ratio(opt, via_lines.objective),
         "lines_rounds": via_lines.rounds,
-        "groups_ratio": approximation_ratio(opt, direct.weight),
+        "groups_ratio": approximation_ratio(opt, direct.objective),
         "groups_rounds": direct.rounds,
     }, None
 
@@ -395,15 +396,15 @@ def _fast_vs_maximal_rounds(graph, seed, eps=0.5, num_seeds=3):
     fast_rounds = []
     ratios = []
     for s in range(seed, seed + num_seeds):
-        fast = fast_matching_2eps(graph, eps=eps, seed=s)
+        fast = _solved(graph, s, "matching-fast2eps", eps=eps)
         fast_rounds.append(fast.rounds)
-        ratios.append(approximation_ratio(opt, len(fast.matching)))
-    maximal, ii_rounds = israeli_itai_matching(graph, seed=seed)
+        ratios.append(approximation_ratio(opt, fast.objective))
+    maximal = _solved(graph, seed, "matching-israeli-itai")
     return {
         "fast_rounds": sum(fast_rounds) / len(fast_rounds),
-        "israeli_itai_rounds": ii_rounds,
+        "israeli_itai_rounds": maximal.rounds,
         "fast_ratio": max(ratios),
-        "maximal_ratio": approximation_ratio(opt, len(maximal)),
+        "maximal_ratio": approximation_ratio(opt, maximal.size),
     }, None
 
 
@@ -486,15 +487,14 @@ def _simulator_microbench(graph, seed, model="CONGEST"):
     reported by the runner's ``--timing`` mode, never here.
     """
 
-    network = SynchronousNetwork(graph, model=model, seed=seed)
-    result = maxis_local_ratio_layers(graph, seed=seed, network=network)
+    report = _solved(graph, seed, "maxis-layers", model=model)
     return {
-        "rounds": result.rounds,
-        "messages": network.metrics.messages,
-        "bits": network.metrics.bits,
+        "rounds": report.rounds,
+        "messages": report.metrics.messages,
+        "bits": report.metrics.bits,
         "max_bits_per_edge_round":
-            network.metrics.max_bits_per_edge_round,
-        "violations": network.metrics.violations,
-        "is_weight": result.weight,
+            report.metrics.max_bits_per_edge_round,
+        "violations": report.metrics.violations,
+        "is_weight": report.objective,
         "n": graph.number_of_nodes(),
-    }, network.metrics
+    }, report.metrics

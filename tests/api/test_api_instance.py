@@ -1,0 +1,81 @@
+"""Tests for :class:`repro.api.Instance` and the instance helpers."""
+
+import dataclasses
+
+import pytest
+
+from repro.api import CONGEST, LOCAL, Instance, random_instance
+from repro.errors import InvalidInstance
+from repro.graphs import gnp_graph, max_degree, node_weight
+
+
+@pytest.fixture
+def graph():
+    return gnp_graph(12, 0.3, seed=1)
+
+
+class TestValidation:
+    def test_unknown_model_rejected(self, graph):
+        with pytest.raises(InvalidInstance):
+            Instance(graph, model="ASYNC")
+
+    def test_nonpositive_eps_rejected(self, graph):
+        with pytest.raises(InvalidInstance):
+            Instance(graph, eps=0.0)
+        with pytest.raises(InvalidInstance):
+            Instance(graph, eps=-1.0)
+
+    def test_frozen(self, graph):
+        instance = Instance(graph)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            instance.seed = 7
+
+
+class TestDerivedViews:
+    def test_counts_and_delta(self, graph):
+        instance = Instance(graph)
+        assert instance.n == graph.number_of_nodes()
+        assert instance.m == graph.number_of_edges()
+        assert instance.delta == max_degree(graph)
+
+    def test_with_model(self, graph):
+        pinned = Instance(graph).with_model(LOCAL)
+        assert pinned.model == LOCAL
+        assert Instance(graph).model is None  # original untouched
+
+    def test_network_defaults_to_congest(self, graph):
+        assert Instance(graph).network().model == CONGEST
+        assert Instance(graph, model=LOCAL).network().model == LOCAL
+
+    def test_network_is_seeded_and_metered(self, graph):
+        network = Instance(graph, seed=9).network()
+        assert network.seed == 9
+        assert network.metrics.messages == 0
+
+
+class TestRandomInstance:
+    def test_maxis_gets_node_weights(self):
+        instance = random_instance("maxis", n=10, p=0.3, max_weight=8,
+                                   seed=4)
+        weights = {node_weight(instance.graph, v)
+                   for v in instance.graph.nodes}
+        assert weights and weights <= set(range(1, 9))
+
+    def test_matching_gets_edge_weights(self):
+        instance = random_instance("matching", n=10, p=0.3, max_weight=8,
+                                   seed=4)
+        assert all("weight" in d
+                   for _, _, d in instance.graph.edges(data=True))
+
+    def test_cli_seed_layout(self):
+        """Graph seed, weight seed + 1, algorithm seed + 2 (the historic
+        ``python -m repro`` layout the parity guarantee relies on)."""
+
+        instance = random_instance("maxis", n=10, p=0.3, seed=4)
+        assert instance.seed == 6
+        reference = gnp_graph(10, 0.3, seed=4)
+        assert set(instance.graph.edges) == set(reference.edges)
+
+    def test_unknown_problem_rejected(self):
+        with pytest.raises(InvalidInstance):
+            random_instance("vertex-cover")

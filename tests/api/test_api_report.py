@@ -1,0 +1,119 @@
+"""Tests for :func:`repro.api.solve` and :class:`repro.api.SolveReport`."""
+
+import pytest
+
+from repro.api import Instance, SolveReport, UnsupportedModel, solve
+from repro.errors import AlgorithmContractViolation, InvalidInstance
+from repro.graphs import max_degree
+
+
+class TestSolve:
+    def test_accepts_bare_graph(self, weighted_graph):
+        report = solve(weighted_graph, "maxis-layers")
+        assert isinstance(report, SolveReport)
+        assert report.instance.graph is weighted_graph
+        assert report.size == len(report.solution)
+
+    def test_model_is_pinned_on_the_report(self, weighted_graph):
+        report = solve(Instance(weighted_graph), "matching-oneeps")
+        assert report.model == "LOCAL"
+        assert report.instance.model == "LOCAL"
+
+    def test_explicit_unsupported_model_rejected(self, weighted_graph):
+        with pytest.raises(UnsupportedModel):
+            solve(Instance(weighted_graph, model="CONGEST"),
+                  "matching-oneeps")
+
+    def test_unsupported_model_is_an_instance_error(self, weighted_graph):
+        # catchable alongside other bad-instance conditions, and NOT an
+        # unknown-name error — the algorithm resolved fine
+        with pytest.raises(InvalidInstance):
+            solve(Instance(weighted_graph, model="CONGEST"),
+                  "matching-oneeps")
+
+    def test_cli_short_names_resolve_with_problem(self, weighted_graph):
+        report = solve(Instance(weighted_graph, seed=2), "layers",
+                       problem="maxis")
+        assert report.algorithm == "maxis-layers"
+
+    def test_options_forward_to_the_implementation(self, weighted_graph):
+        from repro.core import LayerTrace
+
+        trace = LayerTrace()
+        report = solve(Instance(weighted_graph, seed=2), "maxis-layers",
+                       trace=trace)
+        assert report.extras["trace"] is trace
+        assert trace.top_layer_series()
+
+    def test_solution_is_certified(self, weighted_graph):
+        report = solve(Instance(weighted_graph, seed=1), "maxis-layers")
+        assert report.certify() is report
+
+
+class TestSolveReport:
+    @pytest.fixture
+    def report(self, weighted_graph):
+        return solve(Instance(weighted_graph, seed=3), "maxis-layers")
+
+    def test_as_row_shape(self, report, weighted_graph):
+        row = report.as_row()
+        assert row["problem"] == "maxis"
+        assert row["algorithm"] == "maxis-layers"
+        assert row["n"] == weighted_graph.number_of_nodes()
+        assert row["delta"] == max_degree(weighted_graph)
+        assert row["bound"] == float(max_degree(weighted_graph))
+        assert "optimum" not in row
+
+    def test_as_row_with_oracle(self, report):
+        row = report.as_row(oracle=True)
+        assert row["optimum"] >= row["objective"]
+        assert row["ratio"] >= 1.0
+
+    def test_compare_checks_the_guarantee(self, report):
+        comparison = report.compare()
+        assert comparison["within_bound"] is True
+        assert comparison["optimum"] <= report.bound * report.objective
+
+    def test_ledger_counts_empty_without_ledger(self, report):
+        assert report.ledger_counts() == {}
+
+    def test_ledger_counts_total(self, weighted_graph):
+        report = solve(Instance(weighted_graph, seed=3),
+                       "matching-fast2eps")
+        counts = report.ledger_counts()
+        assert counts["total"] == report.rounds
+
+    def test_metrics_attached_for_simulated_runs(self, report):
+        assert report.metrics is not None
+        assert report.metrics.messages > 0
+
+    def test_certify_rejects_tampered_solution(self, weighted_graph):
+        report = solve(Instance(weighted_graph, seed=3), "maxis-layers")
+        u, v = next(iter(weighted_graph.edges))
+        report.solution = frozenset(report.solution | {u, v})
+        with pytest.raises(AlgorithmContractViolation):
+            report.certify()
+
+    def test_oracle_cache_shared_across_reports(self, weighted_graph):
+        first = solve(Instance(weighted_graph, seed=1), "maxis-layers")
+        second = solve(Instance(weighted_graph, seed=2), "maxis-coloring")
+        assert first.optimum() == second.optimum()
+
+    def test_oracle_cache_invalidated_by_reweighting(self):
+        from repro.graphs import assign_node_weights, gnp_graph
+        from repro.mis import exact_mwis, mwis_weight
+
+        graph = assign_node_weights(gnp_graph(12, 0.3, seed=1), 8, seed=2)
+        stale = solve(Instance(graph, seed=1),
+                      "maxis-layers").compare()["optimum"]
+        assign_node_weights(graph, 64, seed=99)
+        fresh = solve(Instance(graph, seed=1),
+                      "maxis-layers").compare()["optimum"]
+        assert fresh == mwis_weight(graph, exact_mwis(graph))
+        assert fresh != stale  # weights in [1,8] vs [1,64] must differ
+
+    def test_mis_objective_is_cardinality(self, weighted_graph):
+        report = solve(Instance(weighted_graph, seed=3), "mis-luby")
+        assert report.objective == report.size
+        assert report.bound is None
+        assert report.compare()["within_bound"] is True

@@ -1,0 +1,193 @@
+"""Facade ↔ legacy parity: ``repro.api.solve`` must reproduce every
+legacy entry point bit-for-bit at a fixed seed.
+
+For each registered :class:`~repro.api.AlgorithmSpec` there is one
+legacy runner below that calls the historical ``repro.core`` /
+``repro.mis`` / ``repro.matching`` function with the same seed; the
+test asserts identical solution sets, objectives, round counts and
+(where the legacy result carries a :class:`~repro.congest.RoundLedger`)
+identical per-phase ledger counts.  A new registry entry without a
+legacy runner fails the completeness test, so parity coverage cannot
+silently rot.
+"""
+
+import pytest
+
+from repro.api import Instance, list_algorithms, solve
+from repro.congest import RoundLedger
+from repro.core import (
+    bipartite_matching_1eps,
+    bipartite_proposal_matching,
+    congest_matching_1eps,
+    fast_matching_2eps,
+    fast_matching_weighted_2eps,
+    general_proposal_matching,
+    local_matching_1eps,
+    matching_local_ratio,
+    maxis_local_ratio_coloring,
+    maxis_local_ratio_layers,
+    weight_group_matching,
+)
+from repro.graphs import (
+    assign_edge_weights,
+    assign_node_weights,
+    gnp_graph,
+    random_bipartite_graph,
+)
+from repro.matching import (
+    bipartite_sides,
+    greedy_weighted_matching,
+    israeli_itai_matching,
+    matching_weight,
+)
+from repro.mis import luby_mis
+
+SEED = 11
+EPS = 0.5
+
+
+@pytest.fixture(scope="module")
+def general_graph():
+    g = gnp_graph(18, 0.22, seed=5)
+    assign_node_weights(g, 32, seed=6)
+    assign_edge_weights(g, 32, seed=7)
+    return g
+
+
+@pytest.fixture(scope="module")
+def bipartite_graph():
+    g = random_bipartite_graph(8, 8, 0.35, seed=9)
+    assign_edge_weights(g, 16, seed=10)
+    return g
+
+
+def _legacy_maxis_layers(g):
+    r = maxis_local_ratio_layers(g, seed=SEED)
+    return r.independent_set, r.weight, r.rounds, None
+
+
+def _legacy_maxis_coloring(g):
+    r = maxis_local_ratio_coloring(g)
+    return r.independent_set, r.weight, r.accounted_rounds, None
+
+
+def _legacy_mis_luby(g):
+    mis, rounds = luby_mis(g, seed=SEED)
+    return mis, len(mis), rounds, None
+
+
+def _legacy_matching_lines(g):
+    r = matching_local_ratio(g, method="layers", seed=SEED)
+    return r.matching, r.weight, r.rounds, None
+
+
+def _legacy_matching_groups(g):
+    r = weight_group_matching(g, seed=SEED)
+    return r.matching, r.weight, r.rounds, r.ledger
+
+
+def _legacy_fast2eps(g):
+    r = fast_matching_2eps(g, eps=EPS, seed=SEED)
+    return r.matching, len(r.matching), r.rounds, r.ledger
+
+
+def _legacy_fast2eps_weighted(g):
+    r = fast_matching_weighted_2eps(g, eps=EPS, seed=SEED)
+    return r.matching, r.weight, r.rounds, r.ledger
+
+
+def _legacy_oneeps(g):
+    r = local_matching_1eps(g, eps=EPS, seed=SEED)
+    return r.matching, r.cardinality, r.rounds, r.ledger
+
+
+def _legacy_oneeps_congest(g):
+    r = congest_matching_1eps(g, eps=EPS, seed=SEED)
+    return r.matching, r.cardinality, r.rounds, r.ledger
+
+
+def _legacy_oneeps_bipartite(g):
+    left, right = bipartite_sides(g)
+    ledger = RoundLedger()
+    matching, _deactivated = bipartite_matching_1eps(
+        g, left, right, eps=EPS, seed=SEED, ledger=ledger,
+    )
+    return matching, len(matching), ledger.total, ledger
+
+
+def _legacy_proposal(g):
+    matching, rounds, ledger = general_proposal_matching(
+        g, eps=EPS, seed=SEED,
+    )
+    return matching, len(matching), rounds, ledger
+
+
+def _legacy_proposal_bipartite(g):
+    left, right = bipartite_sides(g)
+    r = bipartite_proposal_matching(g, left, right, eps=EPS, seed=SEED)
+    return r.matching, len(r.matching), r.rounds, None
+
+
+def _legacy_israeli_itai(g):
+    matching, rounds = israeli_itai_matching(g, seed=SEED)
+    return matching, len(matching), rounds, None
+
+
+def _legacy_greedy(g):
+    matching = greedy_weighted_matching(g)
+    return matching, matching_weight(g, matching), 0, None
+
+
+LEGACY = {
+    "maxis-layers": _legacy_maxis_layers,
+    "maxis-coloring": _legacy_maxis_coloring,
+    "mis-luby": _legacy_mis_luby,
+    "matching-lines": _legacy_matching_lines,
+    "matching-groups": _legacy_matching_groups,
+    "matching-fast2eps": _legacy_fast2eps,
+    "matching-fast2eps-weighted": _legacy_fast2eps_weighted,
+    "matching-oneeps": _legacy_oneeps,
+    "matching-oneeps-congest": _legacy_oneeps_congest,
+    "matching-oneeps-bipartite": _legacy_oneeps_bipartite,
+    "matching-proposal": _legacy_proposal,
+    "matching-proposal-bipartite": _legacy_proposal_bipartite,
+    "matching-israeli-itai": _legacy_israeli_itai,
+    "matching-greedy": _legacy_greedy,
+}
+
+
+def test_every_registered_algorithm_has_a_parity_runner():
+    registered = {spec.name for spec in list_algorithms()}
+    assert registered == set(LEGACY), (
+        "registry and parity suite diverged — add a legacy runner for "
+        f"{sorted(registered ^ set(LEGACY))}"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(LEGACY))
+def test_solve_matches_legacy_entry_point(name, general_graph,
+                                          bipartite_graph):
+    spec = next(s for s in list_algorithms() if s.name == name)
+    graph = bipartite_graph if spec.requires_bipartite else general_graph
+    expected_solution, expected_objective, expected_rounds, ledger = (
+        LEGACY[name](graph)
+    )
+
+    report = solve(Instance(graph, eps=EPS, seed=SEED), name)
+
+    assert report.solution == frozenset(expected_solution)
+    assert report.objective == expected_objective
+    assert report.rounds == expected_rounds
+    if ledger is not None:
+        assert report.ledger_counts() == ledger.as_dict()
+
+
+@pytest.mark.parametrize("name", sorted(LEGACY))
+def test_solve_is_reproducible(name, general_graph, bipartite_graph):
+    spec = next(s for s in list_algorithms() if s.name == name)
+    graph = bipartite_graph if spec.requires_bipartite else general_graph
+    first = solve(Instance(graph, eps=EPS, seed=SEED), name)
+    second = solve(Instance(graph, eps=EPS, seed=SEED), name)
+    assert first.solution == second.solution
+    assert first.rounds == second.rounds
+    assert first.ledger_counts() == second.ledger_counts()

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import MATCHING_ALGORITHMS, MAXIS_ALGORITHMS, main
@@ -11,6 +13,27 @@ class TestInfo:
         out = capsys.readouterr().out
         assert "Algorithm 2" in out
         assert "Theorem B.4" in out
+
+    def test_json_registry(self, capsys):
+        assert main(["info", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert isinstance(entries, list) and entries
+        by_name = {entry["name"]: entry for entry in entries}
+        assert {"maxis-layers", "maxis-coloring", "matching-oneeps",
+                "matching-fast2eps"} <= set(by_name)
+        for entry in entries:
+            assert {"name", "problem", "paper", "guarantee",
+                    "models"} <= set(entry)
+        assert by_name["maxis-layers"]["problem"] == "maxis"
+        assert by_name["matching-oneeps"]["models"] == ["LOCAL"]
+
+    def test_json_registry_covers_cli_choices(self, capsys):
+        main(["info", "--json"])
+        entries = json.loads(capsys.readouterr().out)
+        maxis = {e["cli"] for e in entries if e["problem"] == "maxis"}
+        matching = {e["cli"] for e in entries if e["problem"] == "matching"}
+        assert set(MAXIS_ALGORITHMS) <= maxis
+        assert set(MATCHING_ALGORITHMS) <= matching
 
 
 class TestMaxis:
