@@ -1,0 +1,16 @@
+"""Experiment PERF — batch-engine and simulator wall-clock tracking.
+
+The ``perf`` experiment in :mod:`repro.experiments.catalog` times
+``solve_many`` (serial vs an 8-worker process pool) and full serial
+simulator runs, recording p50/p95 wall-clock and trials/sec.  It is
+the one deliberately non-byte-deterministic experiment: CI records its
+``BENCH_perf.json`` artifact instead of gating on the timing values,
+while the checks still assert the parallel backend computed exactly
+the serial backend's results.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.bench import experiment_bench
+
+test_perf = experiment_bench("perf")

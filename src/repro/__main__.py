@@ -96,6 +96,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--timing", action="store_true",
                        help="include wall-clock timing in the artifact "
                             "(breaks byte-determinism; off by default)")
+    bench.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="fan trials across N worker processes "
+                            "(default serial; artifacts are "
+                            "byte-identical at any worker count)")
+    bench.add_argument("--backend", choices=("process", "thread"),
+                       default="process",
+                       help="pool backend for --workers (default process)")
+    bench.add_argument("--repeat", type=int, default=1, metavar="N",
+                       help="with --timing, execute each section N times "
+                            "and report p50/p95 instead of one sample")
     bench.add_argument("--validate", default=None, metavar="FILE",
                        help="validate an existing artifact file and exit")
     bench.add_argument("--render", default=None, metavar="FILE",
@@ -196,7 +206,14 @@ def _run_bench(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
 
-    artifact = Runner(spec, timing=args.timing).run(args.section)
+    if args.repeat != 1 and not args.timing:
+        print("bench: --repeat only makes sense with --timing",
+              file=sys.stderr)
+        return 2
+
+    artifact = Runner(spec, timing=args.timing, workers=args.workers,
+                      backend=args.backend,
+                      repeat=args.repeat).run(args.section)
 
     if args.json_out == "-":
         print(artifact_to_json(artifact), end="")

@@ -20,6 +20,10 @@ The moving parts:
   :mod:`repro.matching` by :mod:`repro.api.algorithms`;
 * :func:`solve` — the facade: resolves the spec, pins the model, runs,
   certifies the solution;
+* :func:`solve_many` — the batch engine: fan an instance grid (×
+  algorithms) across a process/thread pool with stable fingerprints,
+  per-task failure isolation and a :class:`BatchReport` aggregate
+  (see :mod:`repro.api.batch`);
 * :class:`SolveReport` — solution set + objective + validity
   certificate + approximation-bound check + round ledger + simulator
   metrics, replacing the per-algorithm result zoo at the API boundary.
@@ -30,6 +34,13 @@ The legacy entry points (``repro.core.maxis_local_ratio_layers`` and
 friends) remain supported; prefer this facade in new code.
 """
 
+from .batch import (
+    BatchItem,
+    BatchReport,
+    execute_indexed,
+    instance_fingerprint,
+    solve_many,
+)
 from .facade import solve
 from .instance import CONGEST, LOCAL, MODELS, Instance, random_instance
 from .registry import (
@@ -49,6 +60,8 @@ from . import algorithms  # noqa: F401  (registers the specs on import)
 
 __all__ = [
     "AlgorithmSpec",
+    "BatchItem",
+    "BatchReport",
     "CONGEST",
     "Instance",
     "LOCAL",
@@ -58,10 +71,13 @@ __all__ = [
     "UnsupportedModel",
     "algorithm",
     "cli_names",
+    "execute_indexed",
     "get_algorithm",
+    "instance_fingerprint",
     "list_algorithms",
     "random_instance",
     "register_algorithm",
     "registry_as_json",
     "solve",
+    "solve_many",
 ]

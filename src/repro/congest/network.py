@@ -37,7 +37,13 @@ CONGEST = "CONGEST"
 
 @dataclass
 class NetworkMetrics:
-    """Counters accumulated over one or more protocol executions."""
+    """Counters accumulated over one or more protocol executions.
+
+    ``payload_cache`` holds ``round_breakdown``-style diagnostic
+    counters for the simulator's payload bit-accounting memo cache
+    (``hits`` / ``misses`` / ``evictions``); it is diagnostic-only and
+    deliberately excluded from artifact snapshots.
+    """
 
     rounds: int = 0
     messages: int = 0
@@ -45,10 +51,19 @@ class NetworkMetrics:
     max_bits_per_edge_round: int = 0
     violations: int = 0
     round_breakdown: Dict[str, int] = field(default_factory=dict)
+    payload_cache: Dict[str, int] = field(default_factory=dict)
 
     def charge_rounds(self, rounds: int, label: str = "protocol") -> None:
         self.rounds += rounds
         self.round_breakdown[label] = self.round_breakdown.get(label, 0) + rounds
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of payload bit-cost lookups served from the cache."""
+
+        hits = self.payload_cache.get("hits", 0)
+        misses = self.payload_cache.get("misses", 0)
+        total = hits + misses
+        return hits / total if total else 0.0
 
     def merge(self, other: "NetworkMetrics") -> None:
         self.rounds += other.rounds
@@ -62,11 +77,23 @@ class NetworkMetrics:
             self.round_breakdown[label] = (
                 self.round_breakdown.get(label, 0) + rounds
             )
+        for key, count in other.payload_cache.items():
+            self.payload_cache[key] = self.payload_cache.get(key, 0) + count
 
 
 @dataclass
 class RunResult:
-    """Outcome of executing one protocol on the network."""
+    """Outcome of executing one protocol on the network.
+
+    ``metrics`` is this run's **own** delta — a fresh
+    :class:`NetworkMetrics` covering exactly the rounds/messages/bits
+    of this protocol execution, never an alias of the network-global
+    cumulative counter (which keeps accumulating across runs and lives
+    on :attr:`SynchronousNetwork.metrics`).  Concurrent or
+    multi-protocol consumers can therefore read per-run totals without
+    double counting.  ``completed`` is false when the run ended by
+    quiescence with participants still unhalted.
+    """
 
     outputs: Dict[Hashable, object]
     rounds: int
@@ -124,8 +151,17 @@ class SynchronousNetwork:
         self._n = graph.number_of_nodes()
         #: Payloads repeat heavily (broadcasts send one tuple to every
         #: neighbor, protocols reuse the same tags round after round), so
-        #: bit-accounting is memoised per payload tuple.
+        #: bit-accounting is memoised per payload tuple.  The cache is
+        #: shared across runs and bounded: on overflow the oldest entry
+        #: is evicted (FIFO over dict insertion order) instead of the
+        #: cache silently ceasing to admit new payloads.  Hit/miss/
+        #: eviction counters land in ``metrics.payload_cache``.
         self._bits_cache: Dict[tuple, int] = {}
+        self._bits_cache_limit = 1 << 16
+        #: Largest single message of the *current* run, reset per run so
+        #: RunResult.metrics can report a per-run max while the network
+        #: counter keeps the cumulative max.
+        self._run_max_bits = 0
         #: Optional callback ``(round_index, envelope)`` invoked for every
         #: message sent; used by the line-graph congestion auditor.
         self.trace: Optional[Callable[[int, Envelope], None]] = None
@@ -150,6 +186,21 @@ class SynchronousNetwork:
         ``quiescence_halts`` is true it also ends after a round in which no
         messages were delivered or sent (useful for protocols whose laggards
         merely wait for notifications that will never come).
+
+        Scheduling is wake-list based: the round loop maintains the set
+        of *runnable* programs — every non-halted node is runnable by
+        default (synchronous semantics: nodes may act spontaneously),
+        minus nodes that parked themselves with
+        :meth:`~repro.congest.node.NodeContext.sleep` and have received
+        no mail since.  A halted or sleeping node costs nothing per
+        round; a running halted counter replaces the former O(n)
+        per-round scans, so late protocol phases where almost every
+        node has finished run in time proportional to the survivors,
+        not to n.
+
+        The returned :class:`RunResult` carries this run's private
+        metrics delta; the cumulative totals keep accruing on
+        ``self.metrics``.
         """
 
         nodes = list(self.graph.nodes if participants is None else participants)
@@ -180,22 +231,64 @@ class SynchronousNetwork:
             contexts[node] = ctx
             pairs.append((ctx, program_factory(node)))
 
+        metrics = self.metrics
+        base_messages = metrics.messages
+        base_bits = metrics.bits
+        base_violations = metrics.violations
+        base_hits = metrics.payload_cache.get("hits", 0)
+        base_misses = metrics.payload_cache.get("misses", 0)
+        base_evictions = metrics.payload_cache.get("evictions", 0)
+        self._run_max_bits = 0
+
         in_flight: List[tuple] = []
-        for ctx, program in pairs:
+        halted_count = 0
+        #: Runnable programs in execution (participant) order, as
+        #: (position, ctx, program) so late wake-ups re-merge in order.
+        runnable: List[tuple] = []
+        for pos, (ctx, program) in enumerate(pairs):
             program.on_start(ctx)
             if ctx._outbox:
                 self._collect(ctx, in_flight)
+            if ctx._halted:
+                halted_count += 1
+            elif not ctx._sleeping:
+                runnable.append((pos, ctx, program))
+        #: Sleeping, non-halted programs awaiting mail.
+        parked: Dict[int, tuple] = {
+            id(ctx): (pos, ctx, program)
+            for pos, (ctx, program) in enumerate(pairs)
+            if ctx._sleeping and not ctx._halted
+        }
 
+        total = len(pairs)
         rounds_used = 0
         touched: List[NodeContext] = []  # inboxes holding last round's mail
         for round_index in range(max_rounds):
-            halted_count = sum(1 for ctx, _ in pairs if ctx._halted)
-            if halted_count == len(pairs):
+            if halted_count == total:
                 break
+            if not runnable and not in_flight:
+                # Everyone left is parked and no mail can ever arrive:
+                # the network is deadlocked.  Quiescence ends the run —
+                # counting this (empty) round, so a protocol ported to
+                # sleep() reports the same round total as its busy-wait
+                # twin, which executes one last quiet round before the
+                # bottom-of-loop quiescence check fires.  Otherwise
+                # report the sleepers without spinning through the
+                # remaining rounds.
+                if quiescence_halts:
+                    rounds_used = round_index + 1
+                    if self.on_round_end is not None:
+                        self.on_round_end(round_index,
+                                          total - halted_count, 0)
+                    break
+                raise RoundLimitExceeded(rounds_used, tuple(
+                    node for node in nodes if not contexts[node].halted
+                ))
             for ctx in touched:
                 ctx.inbox.clear()
             touched.clear()
             delivered = 0
+            woken = False
             for src, dst, payload in in_flight:
                 ctx = contexts[dst]
                 if ctx._halted:
@@ -205,22 +298,33 @@ class SynchronousNetwork:
                     touched.append(ctx)
                 inbox[src] = payload
                 delivered += 1
+                if ctx._sleeping:
+                    ctx._sleeping = False
+                    runnable.append(parked.pop(id(ctx)))
+                    woken = True
+            if woken:
+                runnable.sort()
 
             in_flight = []
-            for ctx, program in pairs:
-                if ctx._halted:
-                    continue
+            still_runnable: List[tuple] = []
+            for entry in runnable:
+                _, ctx, program = entry
                 ctx.round = round_index
                 program.on_round(ctx)
                 if ctx._outbox:
                     self._collect(ctx, in_flight)
+                if ctx._halted:
+                    halted_count += 1
+                elif ctx._sleeping:
+                    parked[id(ctx)] = entry
+                else:
+                    still_runnable.append(entry)
+            runnable = still_runnable
             rounds_used = round_index + 1
 
             if self.on_round_end is not None:
-                still_active = sum(
-                    1 for ctx, _ in pairs if not ctx._halted
-                )
-                self.on_round_end(round_index, still_active, delivered)
+                self.on_round_end(round_index, total - halted_count,
+                                  delivered)
             if quiescence_halts and delivered == 0 and not in_flight:
                 break
         else:
@@ -231,9 +335,30 @@ class SynchronousNetwork:
                 raise RoundLimitExceeded(max_rounds, pending)
 
         outputs = {node: contexts[node].output for node in nodes}
-        self.metrics.charge_rounds(rounds_used, label)
+        metrics.charge_rounds(rounds_used, label)
+        cache_delta = {
+            key: value
+            for key, value in (
+                ("hits", metrics.payload_cache.get("hits", 0) - base_hits),
+                ("misses",
+                 metrics.payload_cache.get("misses", 0) - base_misses),
+                ("evictions",
+                 metrics.payload_cache.get("evictions", 0) - base_evictions),
+            )
+            if value
+        }
+        run_metrics = NetworkMetrics(
+            rounds=rounds_used,
+            messages=metrics.messages - base_messages,
+            bits=metrics.bits - base_bits,
+            max_bits_per_edge_round=self._run_max_bits,
+            violations=metrics.violations - base_violations,
+            round_breakdown={label: rounds_used} if rounds_used else {},
+            payload_cache=cache_delta,
+        )
         return RunResult(outputs=outputs, rounds=rounds_used,
-                         metrics=self.metrics)
+                         metrics=run_metrics,
+                         completed=halted_count == total)
 
     # ------------------------------------------------------------------
     def _collect(self, ctx: NodeContext, in_flight: List[tuple]) -> None:
@@ -248,6 +373,7 @@ class SynchronousNetwork:
         outbox = ctx.drain_outbox()
         metrics = self.metrics
         cache = self._bits_cache
+        cache_limit = self._bits_cache_limit
         congest = self.model == CONGEST
         bandwidth = self.bandwidth
         trace = self.trace
@@ -255,12 +381,22 @@ class SynchronousNetwork:
         count = 0
         total_bits = 0
         max_bits = 0
+        hits = 0
+        misses = 0
+        evictions = 0
         for dst, payload in outbox.items():
             bits = cache.get(payload)
             if bits is None:
+                misses += 1
                 bits = payload_bits(payload)
-                if len(cache) < 1 << 16:
-                    cache[payload] = bits
+                if len(cache) >= cache_limit:
+                    # FIFO eviction over dict insertion order: drop the
+                    # oldest payload so fresh traffic keeps caching.
+                    del cache[next(iter(cache))]
+                    evictions += 1
+                cache[payload] = bits
+            else:
+                hits += 1
             count += 1
             total_bits += bits
             if bits > max_bits:
@@ -276,3 +412,13 @@ class SynchronousNetwork:
         metrics.bits += total_bits
         if max_bits > metrics.max_bits_per_edge_round:
             metrics.max_bits_per_edge_round = max_bits
+        if max_bits > self._run_max_bits:
+            self._run_max_bits = max_bits
+        if count:
+            payload_cache = metrics.payload_cache
+            payload_cache["hits"] = payload_cache.get("hits", 0) + hits
+            payload_cache["misses"] = payload_cache.get("misses", 0) + misses
+            if evictions:
+                payload_cache["evictions"] = (
+                    payload_cache.get("evictions", 0) + evictions
+                )

@@ -39,9 +39,16 @@ check counts so a truncated artifact cannot validate.
 
 Determinism: with default runner options the same spec and seeds
 produce a **byte-identical** artifact (sorted keys, no timestamps, no
-host data) — this is what lets CI diff artifacts across commits.
-Wall-clock measurements only appear under the optional top-level
-``timing`` block when explicitly requested (``--timing``).
+host data) — this is what lets CI diff artifacts across commits.  The
+contract extends to parallel execution: ``--workers N`` fans trials
+across the shared batch engine but merges them in spec order, so the
+artifact is byte-identical at any worker count (CI diffs a
+``--workers 2`` smoke run against the serial one).  Wall-clock
+measurements only appear under the optional top-level ``timing`` block
+when explicitly requested (``--timing``; add ``--repeat N`` for
+p50/p95 percentiles over N executions).  The ``perf`` experiment is
+the deliberate exception — its measures *are* wall-clock numbers — and
+is recorded, never byte-diffed.
 
 How CI consumes it
 ------------------

@@ -1166,6 +1166,102 @@ COMPARISON = register_experiment(ExperimentSpec(
 
 
 # ======================================================================
+# PERF — wall-clock tracking for the batch engine and the simulator
+# ======================================================================
+# The one catalog experiment exempt from the byte-determinism contract:
+# its measures ARE wall-clock numbers (CI records BENCH_perf.json, it
+# never gates on the values; only the schema is smoke-gated).  The
+# deterministic *content* — what the parallel backend computed — is
+# still checked to match the serial backend exactly.
+def _perf_agreement_check(rows):
+    for row in rows:
+        assert row["failed"] == 0, f"{row['failed']} batch tasks failed"
+        assert row["objective_total"] == row["parallel_objective_total"], (
+            "parallel backend computed different objectives "
+            f"({row['parallel_objective_total']} vs "
+            f"{row['objective_total']})"
+        )
+        assert row["rounds_total"] == row["parallel_rounds_total"], (
+            "parallel backend computed different round totals"
+        )
+
+
+def _perf_recorded_check(*keys):
+    def fn(rows):
+        for row in rows:
+            for key in keys:
+                assert row.get(key, 0) > 0, f"{key} not recorded: {row.get(key)}"
+
+    return fn
+
+
+PERF = register_experiment(ExperimentSpec(
+    name="perf",
+    title="PERF: batch-engine and simulator wall-clock tracking",
+    description=(
+        "Records p50/p95 wall-clock and trials/sec for solve_many "
+        "(serial vs process pool) and for full serial simulator runs. "
+        "The only non-byte-deterministic experiment: BENCH_perf.json "
+        "is recorded across commits, never gated on timing values."
+    ),
+    tags=("perf", "timing", "nondeterministic"),
+    sections=(
+        Section(
+            name="solve_many_scaling",
+            title="PERF-a: solve_many serial vs 8-worker process pool "
+                  "(32 Algorithm-2 trials, n=1200 sparse G(n,p))",
+            measurement="batch_perf",
+            grid=(
+                {"graph": _gnp(1200, 0.01, 1,
+                               node_w={"max_weight": 4096,
+                                       "scheme": "log-uniform",
+                                       "seed": 2}),
+                 "trials": 32, "workers": 8,
+                 "algorithm": "maxis-layers"},
+            ),
+            seeds=(0,),
+            checks=(
+                _rows_check("parallel_matches_serial",
+                            _perf_agreement_check),
+                _rows_check(
+                    "timing_recorded",
+                    _perf_recorded_check(
+                        "serial_seconds", "parallel_seconds",
+                        "p50_task_seconds", "p95_task_seconds",
+                        "serial_trials_per_sec",
+                        "parallel_trials_per_sec", "speedup",
+                    ),
+                ),
+            ),
+        ),
+        Section(
+            name="simulator_serial",
+            title="PERF-b: serial simulator wall-clock (wake-list "
+                  "scheduler, sparse late-phase workload)",
+            measurement="simulator_perf",
+            grid=(
+                {"graph": _gnp(1200, 0.006, 1,
+                               node_w={"max_weight": 4096,
+                                       "scheme": "log-uniform",
+                                       "seed": 2}),
+                 "repeats": 5},
+            ),
+            seeds=(0,),
+            checks=(
+                _rows_check(
+                    "timing_recorded",
+                    _perf_recorded_check(
+                        "p50_seconds", "p95_seconds", "rounds_per_sec",
+                        "messages_per_sec", "cache_hit_rate",
+                    ),
+                ),
+            ),
+        ),
+    ),
+))
+
+
+# ======================================================================
 # smoke — the CI gate (tiny grid, recorded bounds, pinned counters)
 # ======================================================================
 #: Recorded regression bounds for the smoke workloads.  These are NOT

@@ -474,6 +474,102 @@ def _figure1_counts(graph, seed, greedy_matching=False):
 
 
 # ----------------------------------------------------------------------
+# Wall-clock perf adapters (the `perf` experiment — NON-deterministic)
+# ----------------------------------------------------------------------
+# Unlike every other adapter, these two measure wall-clock time on
+# purpose: they power BENCH_perf.json, the perf-tracking artifact that
+# is recorded (never gated) by CI.  The `perf` experiment is therefore
+# exempt from the byte-determinism contract; its deterministic content
+# (objective totals, rounds) still is checked for serial/parallel
+# agreement.
+@register_measurement("batch_perf")
+def _batch_perf(graph, seed, algorithm="maxis-layers", trials=16,
+                workers=8, model=None):
+    """``solve_many`` scaling: one instance grid, serial vs N workers.
+
+    Records batch wall-clock, per-task p50/p95 latency, trials/sec on
+    both backends and the resulting speedup, plus the deterministic
+    objective/round totals that let a check assert the parallel
+    backend computed exactly what the serial one did.
+    """
+
+    import os
+
+    from ..api import Instance, solve_many
+    from .runner import percentile
+
+    instances = [
+        Instance(graph, model=model, seed=seed + i) for i in range(trials)
+    ]
+    serial = solve_many(instances, algorithm, executor="serial")
+    parallel = solve_many(instances, algorithm, executor="process",
+                          workers=workers)
+    lat = serial.latencies() or [0.0]
+    speedup = (serial.elapsed / parallel.elapsed
+               if parallel.elapsed > 0 else 0.0)
+    serial_summary = serial.summary()
+    parallel_summary = parallel.summary()
+    empty = {"total": 0}  # every task failed: surface it via `failed`
+    measures = {
+        "trials": trials,
+        "workers": workers,
+        "cpus": os.cpu_count(),
+        "algorithm": algorithm,
+        "serial_seconds": serial.elapsed,
+        "parallel_seconds": parallel.elapsed,
+        "p50_task_seconds": percentile(lat, 50.0),
+        "p95_task_seconds": percentile(lat, 95.0),
+        "serial_trials_per_sec": serial.trials_per_second(),
+        "parallel_trials_per_sec": parallel.trials_per_second(),
+        "speedup": speedup,
+        # deterministic agreement fingerprint (serial vs parallel):
+        "objective_total":
+            serial_summary.get("objective", empty)["total"],
+        "parallel_objective_total":
+            parallel_summary.get("objective", empty)["total"],
+        "rounds_total": serial_summary["rounds_total"],
+        "parallel_rounds_total": parallel_summary["rounds_total"],
+        "failed": len(serial.failures) + len(parallel.failures),
+    }
+    return measures, None
+
+
+@register_measurement("simulator_perf")
+def _simulator_perf(graph, seed, algorithm="maxis-layers", repeats=5,
+                    model="CONGEST"):
+    """Serial simulator wall-clock on one workload (wake-list tracking).
+
+    Repeats one full protocol run ``repeats`` times and reports p50/p95
+    seconds plus derived rounds/sec and messages/sec, so the wake-list
+    scheduler's serial speed is tracked across commits in
+    ``BENCH_perf.json``.
+    """
+
+    import time as _time
+
+    from .runner import percentile
+
+    samples = []
+    report = None
+    for _ in range(repeats):
+        started = _time.perf_counter()
+        report = _solved(graph, seed, algorithm, model=model)
+        samples.append(_time.perf_counter() - started)
+    p50 = percentile(samples, 50.0)
+    return {
+        "repeats": repeats,
+        "rounds": report.rounds,
+        "messages": report.metrics.messages,
+        "p50_seconds": p50,
+        "p95_seconds": percentile(samples, 95.0),
+        "rounds_per_sec": report.rounds / p50 if p50 > 0 else 0.0,
+        "messages_per_sec":
+            report.metrics.messages / p50 if p50 > 0 else 0.0,
+        "cache_hit_rate": report.metrics.cache_hit_rate(),
+    }, report.metrics
+
+
+# ----------------------------------------------------------------------
 # Simulator micro-benchmark (CI smoke / perf tracking)
 # ----------------------------------------------------------------------
 @register_measurement("simulator_microbench")

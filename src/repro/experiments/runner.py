@@ -1,4 +1,4 @@
-"""Deterministic experiment runner.
+"""Deterministic experiment runner (serial or process-parallel).
 
 The :class:`Runner` is the single execution engine behind every
 benchmark: the ``python -m repro bench`` CLI, the ``benchmarks/``
@@ -6,21 +6,26 @@ pytest suite and the CI smoke gate all funnel through
 :meth:`Runner.run`.  For each section of an
 :class:`~repro.experiments.spec.ExperimentSpec` it
 
-1. materializes each grid cell's graph spec once (graphs are reused
-   across the seed sweep, exactly like the hand-written benchmarks
-   did),
-2. executes the section's measurement for every ``(cell, seed)`` pair,
-   passing a seed that is either the literal spec seed or — when the
-   section opts into ``derive_seeds`` — derived via
-   :func:`repro.utils.stable_rng` from
-   ``(experiment, section, cell, seed)``,
+1. expands the section's ``(cell, seed)`` grid into an ordered trial
+   plan (each entry carries the cell's graph spec, parameters and the
+   derived trial seed),
+2. executes the plan — serially with the cell's graph materialized
+   once per seed sweep, or fanned across a process/thread pool via the
+   shared batch engine (:func:`repro.api.batch.execute_indexed`) when
+   ``workers > 1``, each worker rebuilding its trial's graph from the
+   (deterministic) spec,
 3. collects the measurement's measures dict plus an optional
    :class:`~repro.congest.network.NetworkMetrics` snapshot per trial,
+   merging results **in plan order** so the artifact is byte-identical
+   at any worker count,
 4. reduces trials to table rows and evaluates the section's checks,
    recording pass/fail instead of aborting.
 
 The assembled artifact follows the versioned schema documented in
-:mod:`~repro.experiments.artifact`.
+:mod:`~repro.experiments.artifact`.  Wall-clock timing stays in the
+opt-in ``timing`` block; with ``repeat > 1`` each section is executed
+that many times and the block reports p50/p95 percentiles and
+trials/sec instead of a single sample.
 """
 
 from __future__ import annotations
@@ -60,12 +65,93 @@ def _default_reduce(trials: List[dict]) -> List[dict]:
     return rows
 
 
-class Runner:
-    """Executes one :class:`ExperimentSpec` and assembles its artifact."""
+def percentile(samples: List[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100]) of a
+    non-empty sample list."""
 
-    def __init__(self, spec: ExperimentSpec, timing: bool = False):
+    if not samples:
+        raise ValueError("percentile() of empty sequence")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * (rank - lo)
+
+
+#: Per-worker memo of the most recently built graph, keyed by the
+#: spec's repr.  Chunks preserve plan order, so a cell's seed sweep
+#: arrives at one worker as adjacent tasks and the graph is built once
+#: per cell — the same once-per-sweep reuse the serial path gets —
+#: instead of once per trial.  One entry only: no growth, and no
+#: sharing beyond what the serial path's per-cell cache already does.
+_LAST_GRAPH: tuple = (None, None)
+
+
+def _run_trial_task(task: tuple) -> tuple:
+    """Worker body for one ``(cell, seed)`` trial.
+
+    Module-level (picklable) so the process backend can ship it.  The
+    task carries only plain data — the measurement *name*, the graph
+    *spec* dict and the parameter dict — and the worker rebuilds the
+    graph through the registered (deterministic) family builder, so a
+    rebuilt graph is identical to the serial path's cached one.
+    Returns sanitized measures plus the JSON metrics snapshot, i.e.
+    exactly what lands in the trial record.
+    """
+
+    global _LAST_GRAPH
+    measurement_name, graph_spec, params, trial_seed = task
+    fn = get_measurement(measurement_name)
+    if graph_spec is None:
+        graph = None
+    else:
+        key = repr(graph_spec)
+        cached_key, cached_graph = _LAST_GRAPH
+        if key == cached_key:
+            graph = cached_graph
+        else:
+            graph = build_graph(graph_spec)
+            _LAST_GRAPH = (key, graph)
+    measures, metrics = fn(graph, trial_seed, **params)
+    return _sanitize(measures), metrics_snapshot(metrics)
+
+
+class Runner:
+    """Executes one :class:`ExperimentSpec` and assembles its artifact.
+
+    Parameters
+    ----------
+    spec:
+        The experiment to run.
+    timing:
+        Include wall-clock data in the opt-in ``timing`` block.
+    workers:
+        ``None``/``0``/``1`` runs trials serially (the historical
+        path); ``N > 1`` fans each section's trial plan across ``N``
+        workers of the shared batch engine.  Artifacts are
+        **byte-identical** at any worker count: trials are merged in
+        plan (spec) order and wall-clock stays in the timing block.
+    backend:
+        ``"process"`` (default for ``workers > 1``) or ``"thread"``.
+    repeat:
+        With ``timing``, execute each section this many times and
+        report p50/p95 across the samples (the artifact's trial data
+        comes from the first execution; repeats are timing-only).
+    """
+
+    def __init__(self, spec: ExperimentSpec, timing: bool = False,
+                 workers: Optional[int] = None, backend: str = "process",
+                 repeat: int = 1):
         self.spec = spec
         self.timing = timing
+        self.workers = int(workers) if workers else 0
+        self.backend = backend
+        self.repeat = max(1, int(repeat)) if timing else 1
+        #: Pool shared across sections during run(); standalone
+        #: run_section() calls fall back to a per-call pool.
+        self._pool = None
 
     # ------------------------------------------------------------------
     def trial_seed(self, section: Section, cell_index: int, seed: int) -> int:
@@ -74,39 +160,109 @@ class Runner:
         rng = stable_rng(seed, self.spec.name, section.name, cell_index)
         return rng.getrandbits(31)
 
+    # ------------------------------------------------------------------
+    def _section_plan(self, section: Section) -> List[dict]:
+        """Expand a section into its ordered ``(cell, seed)`` trial plan.
+
+        Per-cell overrides: a cell may pin its own seed sweep (for
+        benches whose graph seed and algorithm seed co-vary), swap the
+        measurement (heterogeneous summary tables), or carry
+        display-only labels that are recorded but not passed to the
+        measurement.
+        """
+
+        plan: List[dict] = []
+        for cell_index, cell in enumerate(section.grid):
+            cell = dict(cell)
+            graph_spec = cell.pop("graph", None)
+            cell_seeds = cell.pop("seeds", section.seeds)
+            cell_measurement = cell.pop("measurement", None)
+            label = dict(cell.pop("label", {}))
+            measurement = (section.measurement if cell_measurement is None
+                           else cell_measurement)
+            for seed in cell_seeds:
+                plan.append({
+                    "cell": cell_index,
+                    "graph": graph_spec,
+                    "measurement": measurement,
+                    "params": cell,
+                    "label": label,
+                    "seed": self.trial_seed(section, cell_index, seed),
+                })
+        return plan
+
+    @staticmethod
+    def _task(entry: dict) -> tuple:
+        return (entry["measurement"], entry["graph"], entry["params"],
+                entry["seed"])
+
+    def _execute_serial(self, plan: List[dict]) -> List[tuple]:
+        """Run the plan in-process through the same trial body the
+        workers execute (adjacent same-cell trials reuse the built
+        graph via the trial task's memo), so the serial and parallel
+        paths cannot drift apart."""
+
+        return [_run_trial_task(self._task(entry)) for entry in plan]
+
+    def _execute_parallel(self, plan: List[dict]) -> List[tuple]:
+        """Fan the plan across the shared batch engine; results come
+        back in plan order, so artifacts match the serial path byte for
+        byte.  A failing trial aborts the section, like the serial
+        path — though the original exception, having crossed a process
+        boundary as a string, is re-raised as a RuntimeError naming the
+        failed (cell, seed) and the worker's error text."""
+
+        from ..api.batch import execute_indexed
+
+        outcomes = execute_indexed(
+            _run_trial_task, [self._task(entry) for entry in plan],
+            executor=self._pool if self._pool is not None else self.backend,
+            workers=self.workers,
+        )
+        results: List[tuple] = []
+        for entry, (result, error) in zip(plan, outcomes):
+            if error is not None:
+                raise RuntimeError(
+                    f"trial (cell={entry['cell']}, "
+                    f"seed={entry['seed']}) failed: {error}"
+                )
+            results.append(result)
+        return results
+
+    def _execute(self, plan: List[dict]) -> List[tuple]:
+        if self.workers > 1:
+            return self._execute_parallel(plan)
+        return self._execute_serial(plan)
+
+    # ------------------------------------------------------------------
     def run_section(self, section) -> Dict:
         """Run one section (by name or :class:`Section`) to a record."""
 
         if isinstance(section, str):
             section = self.spec.section(section)
-        measurement = get_measurement(section.measurement)
-        trials: List[dict] = []
+        plan = self._section_plan(section)
+
+        samples: List[float] = []
         started = time.perf_counter() if self.timing else 0.0
-        for cell_index, cell in enumerate(section.grid):
-            cell = dict(cell)
-            graph_spec = cell.pop("graph", None)
-            graph = build_graph(graph_spec) if graph_spec is not None else None
-            # Per-cell overrides: a cell may pin its own seed sweep (for
-            # benches whose graph seed and algorithm seed co-vary), swap
-            # the measurement (heterogeneous summary tables), or carry
-            # display-only labels that are recorded but not passed to
-            # the measurement.
-            cell_seeds = cell.pop("seeds", section.seeds)
-            cell_measurement = cell.pop("measurement", None)
-            label = dict(cell.pop("label", {}))
-            fn = (measurement if cell_measurement is None
-                  else get_measurement(cell_measurement))
-            for seed in cell_seeds:
-                trial_seed = self.trial_seed(section, cell_index, seed)
-                measures, metrics = fn(graph, trial_seed, **cell)
-                trials.append({
-                    "cell": cell_index,
-                    "graph": graph_spec,
-                    "params": {**label, **cell},
-                    "seed": trial_seed,
-                    "measures": _sanitize(measures),
-                    "metrics": metrics_snapshot(metrics),
-                })
+        results = self._execute(plan)
+        if self.timing:
+            samples.append(time.perf_counter() - started)
+            for _ in range(self.repeat - 1):
+                started = time.perf_counter()
+                self._execute(plan)
+                samples.append(time.perf_counter() - started)
+
+        trials = [
+            {
+                "cell": entry["cell"],
+                "graph": entry["graph"],
+                "params": {**entry["label"], **entry["params"]},
+                "seed": entry["seed"],
+                "measures": measures,
+                "metrics": metrics,
+            }
+            for entry, (measures, metrics) in zip(plan, results)
+        ]
         reduce = section.reduce or _default_reduce
         rows = reduce(trials)
         checks = []
@@ -136,10 +292,26 @@ class Runner:
             "checks": checks,
         }
         if self.timing:
-            record["timing"] = {
-                "seconds": time.perf_counter() - started,
-            }
+            record["timing"] = self._timing_block(samples, len(plan))
         return record
+
+    def _timing_block(self, samples: List[float], trials: int) -> Dict:
+        """One section's timing record: a single sample stays the
+        historical ``{"seconds": s}`` shape; with ``repeat > 1`` the
+        p50/p95 percentiles and trials/sec are reported as well."""
+
+        block: Dict[str, object] = {"seconds": samples[0]}
+        if len(samples) > 1:
+            p50 = percentile(samples, 50.0)
+            block.update({
+                "repeats": len(samples),
+                "p50": p50,
+                "p95": percentile(samples, 95.0),
+                "min": min(samples),
+                "max": max(samples),
+                "trials_per_sec": trials / p50 if p50 > 0 else 0.0,
+            })
+        return block
 
     # ------------------------------------------------------------------
     def run(self, sections: Optional[Iterable[str]] = None) -> Dict:
@@ -148,7 +320,22 @@ class Runner:
         wanted = None if sections is None else list(sections)
         selected = (self.spec.sections if wanted is None
                     else [self.spec.section(name) for name in wanted])
-        records = [self.run_section(section) for section in selected]
+        try:
+            if self.workers > 1:
+                # One pool for the whole experiment: pool spin-up is
+                # paid once, not once per section (or repeat sample).
+                from ..api.batch import _make_executor
+
+                self._pool = _make_executor(self.backend, self.workers)
+            records = [self.run_section(section) for section in selected]
+        finally:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+            # Drop the serial path's graph memo so a long-lived process
+            # does not retain the last workload graph.
+            global _LAST_GRAPH
+            _LAST_GRAPH = (None, None)
         trials = sum(len(r["trials"]) for r in records)
         checks_total = sum(len(r["checks"]) for r in records)
         checks_failed = sum(
@@ -169,17 +356,24 @@ class Runner:
             },
         }
         if self.timing:
-            timing = {r["name"]: r.pop("timing")["seconds"] for r in records}
+            blocks = {r["name"]: r.pop("timing") for r in records}
             artifact["timing"] = {
-                "sections": timing,
-                "seconds_total": sum(timing.values()),
+                "sections": {
+                    name: (block["seconds"] if len(block) == 1 else block)
+                    for name, block in blocks.items()
+                },
+                "seconds_total": sum(b["seconds"] for b in blocks.values()),
             }
         return artifact
 
 
 def run_experiment(spec: ExperimentSpec,
                    sections: Optional[Iterable[str]] = None,
-                   timing: bool = False) -> Dict:
-    """Convenience wrapper: ``Runner(spec, timing).run(sections)``."""
+                   timing: bool = False,
+                   workers: Optional[int] = None,
+                   backend: str = "process",
+                   repeat: int = 1) -> Dict:
+    """Convenience wrapper: ``Runner(spec, ...).run(sections)``."""
 
-    return Runner(spec, timing=timing).run(sections)
+    return Runner(spec, timing=timing, workers=workers, backend=backend,
+                  repeat=repeat).run(sections)

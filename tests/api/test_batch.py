@@ -1,0 +1,208 @@
+"""Tests for the batch execution engine (``repro.api.batch``)."""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.api import (
+    Instance,
+    instance_fingerprint,
+    random_instance,
+    solve,
+    solve_many,
+)
+from repro.api.batch import execute_indexed
+from repro.graphs import gnp_graph
+
+
+def _instances(count=3, n=14, p=0.25):
+    return [random_instance("maxis", n=n, p=p, seed=s) for s in range(count)]
+
+
+def _exit_on_sentinel(x):
+    """Module-level (picklable) task that hard-kills its worker on -1."""
+
+    if x == -1:
+        os._exit(1)
+    return x
+
+
+class TestInstanceFingerprint:
+    def test_stable_across_calls(self):
+        inst = random_instance("maxis", n=12, p=0.3, seed=4)
+        assert instance_fingerprint(inst) == instance_fingerprint(inst)
+
+    def test_rebuilt_instance_matches(self):
+        a = random_instance("maxis", n=12, p=0.3, seed=4)
+        b = random_instance("maxis", n=12, p=0.3, seed=4)
+        assert a.graph is not b.graph
+        assert instance_fingerprint(a) == instance_fingerprint(b)
+
+    def test_sensitive_to_seed_and_structure(self):
+        base = random_instance("maxis", n=12, p=0.3, seed=4)
+        other_seed = random_instance("maxis", n=12, p=0.3, seed=5)
+        assert instance_fingerprint(base) != instance_fingerprint(other_seed)
+        reweighted = Instance(gnp_graph(12, 0.3, seed=1), seed=base.seed)
+        assert instance_fingerprint(base) != instance_fingerprint(reweighted)
+
+    def test_sensitive_to_model_and_eps(self):
+        g = gnp_graph(10, 0.3, seed=1)
+        assert (instance_fingerprint(Instance(g, model="LOCAL"))
+                != instance_fingerprint(Instance(g, model="CONGEST")))
+        assert (instance_fingerprint(Instance(g, eps=0.5))
+                != instance_fingerprint(Instance(g, eps=0.25)))
+
+
+class TestExecuteIndexed:
+    def test_serial_preserves_order(self):
+        results = execute_indexed(lambda x: x * 2, [3, 1, 2])
+        assert results == [(6, None), (2, None), (4, None)]
+
+    def test_serial_isolates_failures(self):
+        def fn(x):
+            if x == 1:
+                raise ValueError("boom")
+            return x
+
+        results = execute_indexed(fn, [0, 1, 2])
+        assert results[0] == (0, None)
+        assert results[1][0] is None
+        assert "ValueError: boom" in results[1][1]
+        assert results[2] == (2, None)
+
+    def test_thread_backend_matches_serial(self):
+        tasks = list(range(23))
+        serial = execute_indexed(lambda x: x * x, tasks)
+        threaded = execute_indexed(lambda x: x * x, tasks,
+                                   executor="thread", workers=3,
+                                   chunksize=2)
+        assert threaded == serial
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            execute_indexed(lambda x: x, [1], executor="carrier-pigeon")
+
+    @pytest.mark.skipif(
+        multiprocessing.get_start_method() != "fork",
+        reason="worker-death test pickles a test-module function",
+    )
+    def test_dead_worker_does_not_sink_the_batch(self):
+        # The sentinel task kills its worker outright, bypassing the
+        # in-worker try/except.  The contract: execute_indexed still
+        # returns (no BrokenProcessPool escapes), every slot is
+        # filled, the sentinel's slot records the breakage, and any
+        # chunk that finished before the pool broke keeps its result.
+        results = execute_indexed(_exit_on_sentinel, [1, -1, 2],
+                                  executor="process", workers=2,
+                                  chunksize=1)
+        assert len(results) == 3
+        assert all(slot is not None for slot in results)
+        assert results[1][0] is None
+        assert "worker died" in results[1][1]
+        for value, (result, error) in zip((1, 2), (results[0], results[2])):
+            assert result == value or "worker died" in error
+
+
+class TestSolveMany:
+    def test_matches_individual_solves(self):
+        instances = _instances()
+        batch = solve_many(instances, "maxis-layers", executor="serial")
+        assert len(batch) == len(instances)
+        for inst, item in zip(instances, batch):
+            direct = solve(inst, "maxis-layers")
+            assert item.ok
+            assert item.report.solution == direct.solution
+            assert item.report.rounds == direct.rounds
+
+    def test_cross_product_order_is_instance_major(self):
+        instances = _instances(2)
+        batch = solve_many(instances, ["maxis-layers", "maxis-coloring"],
+                           executor="serial")
+        assert [item.algorithm for item in batch] == [
+            "maxis-layers", "maxis-coloring",
+            "maxis-layers", "maxis-coloring",
+        ]
+        assert batch.items[0].fingerprint == batch.items[1].fingerprint
+        assert batch.items[0].fingerprint != batch.items[2].fingerprint
+
+    def test_process_pool_matches_serial(self):
+        instances = _instances()
+        serial = solve_many(instances, "maxis-layers", executor="serial")
+        pooled = solve_many(instances, "maxis-layers",
+                            executor="process", workers=2)
+        assert [i.fingerprint for i in serial] == [
+            i.fingerprint for i in pooled
+        ]
+        assert [i.report.solution for i in serial] == [
+            i.report.solution for i in pooled
+        ]
+        assert [i.report.objective for i in serial] == [
+            i.report.objective for i in pooled
+        ]
+
+    def test_thread_pool_matches_serial(self):
+        instances = _instances()
+        serial = solve_many(instances, "maxis-layers", executor="serial")
+        threaded = solve_many(instances, "maxis-layers",
+                              executor="thread", workers=2)
+        assert [i.report.solution for i in serial] == [
+            i.report.solution for i in threaded
+        ]
+
+    def test_failure_isolation(self):
+        instances = _instances(2)
+        batch = solve_many(instances, ["maxis-layers", "no-such-algo"],
+                           executor="serial")
+        assert len(batch.ok) == 2
+        assert len(batch.failures) == 2
+        for item in batch.failures:
+            assert item.report is None
+            assert "no-such-algo" in item.error
+        # healthy siblings are untouched
+        direct = solve(instances[0], "maxis-layers")
+        assert batch.ok[0].report.solution == direct.solution
+
+    def test_isolate_seeds_gives_distinct_streams(self):
+        inst = random_instance("maxis", n=14, p=0.25, seed=0)
+        batch = solve_many([inst] * 4, "maxis-layers", isolate_seeds=True)
+        seeds = [item.report.instance.seed for item in batch]
+        assert len(set(seeds)) == 4
+        fingerprints = [item.fingerprint for item in batch]
+        assert len(set(fingerprints)) == 4
+        # and the derivation is itself deterministic
+        again = solve_many([inst] * 4, "maxis-layers", isolate_seeds=True)
+        assert [i.report.instance.seed for i in again] == seeds
+
+
+class TestBatchReport:
+    def test_summary_aggregates(self):
+        batch = solve_many(_instances(), "maxis-layers", executor="serial")
+        summary = batch.summary()
+        objectives = [item.report.objective for item in batch]
+        assert summary["tasks"] == 3
+        assert summary["ok"] == 3
+        assert summary["failed"] == 0
+        assert summary["objective"]["total"] == sum(objectives)
+        assert summary["objective"]["min"] == min(objectives)
+        assert summary["objective"]["max"] == max(objectives)
+        assert summary["rounds_total"] == sum(
+            item.report.rounds for item in batch
+        )
+        assert summary["messages_total"] > 0
+
+    def test_get_by_fingerprint(self):
+        batch = solve_many(_instances(2), "maxis-layers", executor="serial")
+        item = batch.items[1]
+        assert batch.get(item.fingerprint, "maxis-layers") is item
+        with pytest.raises(KeyError):
+            batch.get("ffffffffffffffff", "maxis-layers")
+
+    def test_reports_and_latencies_cover_successes_only(self):
+        batch = solve_many(_instances(2), ["maxis-layers", "no-such-algo"],
+                           executor="serial")
+        assert len(batch.reports) == 2
+        assert len(batch.latencies()) == 2
+        assert all(sec >= 0 for sec in batch.latencies())
+        assert batch.elapsed > 0
+        assert batch.trials_per_second() > 0
