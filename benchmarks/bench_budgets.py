@@ -1,0 +1,15 @@
+"""Experiment BUD — anytime budget sweeps (quality-vs-round curves).
+
+The paper's guarantees trade rounds for quality; the ``budgets``
+experiment sweeps ``Instance.max_rounds`` (crossed with ε for the
+(1+ε) matcher) through the anytime solve protocol and records the
+empirical curves, asserting the anytime contract: truncated runs fit
+their budget, more budget never hurts, and completed budgeted runs
+match the unbounded run exactly.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.bench import experiment_bench
+
+test_budgets = experiment_bench("budgets")

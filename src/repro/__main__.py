@@ -23,6 +23,7 @@ Examples::
     python -m repro bench smoke --json -
     python -m repro bench table1 --section t1_1a --output out/table1.json
     python -m repro bench --validate BENCH_smoke.json
+    python -m repro bench --diff OLD_perf.json NEW_perf.json
 """
 
 from __future__ import annotations
@@ -111,6 +112,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--render", default=None, metavar="FILE",
                        help="render an existing artifact file as tables "
                             "and exit (no experiment is run)")
+    bench.add_argument("--diff", nargs=2, default=None,
+                       metavar=("OLD", "NEW"),
+                       help="diff two artifact files (check regressions, "
+                            "row drift, timing trends) and exit; non-zero "
+                            "exit iff a check regressed")
 
     info = sub.add_parser("info", help="print the algorithm inventory")
     info.add_argument("--json", action="store_true", dest="json_registry",
@@ -152,6 +158,21 @@ def _run_bench(args: argparse.Namespace) -> int:
         validate_artifact,
         write_artifact,
     )
+
+    if args.diff is not None:
+        from .experiments import diff_artifacts, render_diff
+
+        artifacts = []
+        for path in args.diff:
+            try:
+                artifacts.append(load_artifact(path))
+            except (OSError, ValueError) as exc:
+                print(f"bench: cannot read artifact {path!r}: {exc}",
+                      file=sys.stderr)
+                return 1
+        diff = diff_artifacts(*artifacts)
+        print(render_diff(diff))
+        return 1 if diff["regression_count"] else 0
 
     if args.validate is not None or args.render is not None:
         path = args.validate if args.validate is not None else args.render

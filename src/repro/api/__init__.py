@@ -19,7 +19,13 @@ The moving parts:
   auto-populated from :mod:`repro.core`, :mod:`repro.mis` and
   :mod:`repro.matching` by :mod:`repro.api.algorithms`;
 * :func:`solve` — the facade: resolves the spec, pins the model, runs,
-  certifies the solution;
+  certifies the solution; with ``Instance.max_rounds`` set it enforces
+  the budget and returns a ``status="truncated"`` report (best valid
+  partial solution) instead of raising;
+* :func:`solve_iter` — the anytime primitive under ``solve``: a
+  generator yielding :class:`Checkpoint` objects (phase label, valid
+  partial solution, objective, rounds/bits consumed) at the
+  algorithm's phase boundaries and returning the final report;
 * :func:`solve_many` — the batch engine: fan an instance grid (×
   algorithms) across a process/thread pool with stable fingerprints,
   per-task failure isolation and a :class:`BatchReport` aggregate
@@ -34,6 +40,7 @@ The legacy entry points (``repro.core.maxis_local_ratio_layers`` and
 friends) remain supported; prefer this facade in new code.
 """
 
+from .anytime import COMPLETE, STATUSES, TRUNCATED, Checkpoint
 from .batch import (
     BatchItem,
     BatchReport,
@@ -41,7 +48,7 @@ from .batch import (
     instance_fingerprint,
     solve_many,
 )
-from .facade import solve
+from .facade import solve, solve_iter
 from .instance import CONGEST, LOCAL, MODELS, Instance, random_instance
 from .registry import (
     AlgorithmSpec,
@@ -63,10 +70,14 @@ __all__ = [
     "BatchItem",
     "BatchReport",
     "CONGEST",
+    "COMPLETE",
+    "Checkpoint",
     "Instance",
     "LOCAL",
     "MODELS",
+    "STATUSES",
     "SolveReport",
+    "TRUNCATED",
     "UnknownAlgorithm",
     "UnsupportedModel",
     "algorithm",
@@ -79,5 +90,6 @@ __all__ = [
     "register_algorithm",
     "registry_as_json",
     "solve",
+    "solve_iter",
     "solve_many",
 ]

@@ -21,17 +21,24 @@ from typing import Optional
 from ..congest import RoundLedger
 from ..core import (
     bipartite_matching_1eps,
+    bipartite_matching_1eps_phases,
     bipartite_proposal_matching,
     congest_matching_1eps,
+    congest_matching_1eps_stages,
     fast_matching_2eps,
     fast_matching_weighted_2eps,
     general_proposal_matching,
+    improved_nearly_maximal_is,
     local_matching_1eps,
+    local_matching_1eps_phases,
     matching_local_ratio,
+    maxis_layers_phases,
     maxis_local_ratio_coloring,
     maxis_local_ratio_layers,
+    nearly_maximal_matching,
     weight_group_matching,
 )
+from ..core.maxis_layers import default_round_budget
 from ..matching import (
     bipartite_sides,
     greedy_weighted_matching,
@@ -39,6 +46,7 @@ from ..matching import (
     matching_weight,
 )
 from ..mis import luby_mis
+from .anytime import COMPLETE, TRUNCATED, Checkpoint
 from .instance import CONGEST, LOCAL, Instance
 from .registry import algorithm
 from .report import SolveReport
@@ -46,7 +54,7 @@ from .report import SolveReport
 
 def _report(instance: Instance, solution, objective, rounds,
             ledger: Optional[RoundLedger] = None, metrics=None,
-            **extras) -> SolveReport:
+            status: str = COMPLETE, **extras) -> SolveReport:
     """Assemble the run-specific half of a :class:`SolveReport`.
 
     The registry identity (algorithm name, problem kind, guarantee
@@ -64,6 +72,7 @@ def _report(instance: Instance, solution, objective, rounds,
         weighted=False,
         rounds=rounds,
         model=instance.model or "",
+        status=status,
         ledger=ledger,
         metrics=metrics,
         extras=extras,
@@ -73,11 +82,54 @@ def _report(instance: Instance, solution, objective, rounds,
 # ----------------------------------------------------------------------
 # MaxIS (Algorithms 2 and 3) and the MIS baseline
 # ----------------------------------------------------------------------
+def _iter_maxis_layers(instance: Instance, trace=None):
+    """Anytime Algorithm 2: one checkpoint per selection phase.
+
+    ``instance.max_rounds``, when set, *replaces* the Theorem 2.3
+    paper budget (same as the legacy runner: an explicit budget wins
+    in both directions), and the run stops cooperatively at that cap —
+    a truncated run never simulates a round past the budget.  The
+    partial independent set is valid at every phase boundary (stack
+    discipline), so every checkpoint is adoptable.
+    """
+
+    network = instance.network()
+    budget = (instance.max_rounds if instance.max_rounds is not None
+              else default_round_budget(instance.graph))
+    phases = maxis_layers_phases(
+        instance.graph, seed=instance.seed, network=network,
+        max_rounds=budget, trace=trace,
+    )
+    last = (0, frozenset(), 0, False)
+    yield Checkpoint(phase="init", solution=frozenset(), objective=0,
+                     rounds=0)
+    index = 1
+    while True:
+        try:
+            last = next(phases)
+        except StopIteration as stop:
+            result = stop.value
+            break
+        rounds, chosen, weight, final = last
+        yield Checkpoint(phase=f"selection-{index}", solution=chosen,
+                         objective=weight, rounds=rounds,
+                         bits=network.metrics.bits, final=final)
+        index += 1
+    if result is None:
+        rounds, chosen, weight, _final = last
+        return _report(instance, chosen, weight, rounds,
+                       metrics=network.metrics, status=TRUNCATED,
+                       trace=trace)
+    return _report(instance, result.independent_set,
+                   result.weight, result.rounds, metrics=network.metrics,
+                   trace=trace)
+
+
 @algorithm(name="maxis-layers", problem="maxis", cli="layers",
            paper="Algorithm 2 (Thm 2.3)",
            guarantee="Δ-approx MWIS, O(MIS·log W) rounds",
            bound=lambda inst: float(max(1, inst.delta)),
-           weighted=True, tags=("paper",))
+           weighted=True, tags=("paper",), run_iter=_iter_maxis_layers)
 def _run_maxis_layers(instance: Instance, trace=None) -> SolveReport:
     network = instance.network()
     result = maxis_local_ratio_layers(
@@ -188,11 +240,56 @@ def _run_fast2eps_weighted(instance: Instance, beta_bucket=None
 # ----------------------------------------------------------------------
 # (1+ε) matchings (Appendix B.3 / Theorems B.4, B.12)
 # ----------------------------------------------------------------------
+def _checkpoint_matching_phases(phases, label: str):
+    """Drive a core ``(rounds, matching, extras)`` phase generator into
+    checkpoints; shared by the three (1+ε) anytime runners.
+
+    Returns ``(core_result, last_snapshot)`` where ``core_result`` is
+    ``None`` when the budget interrupted the generator cooperatively.
+    """
+
+    last = (0, frozenset(), {})
+    index = 0
+    while True:
+        try:
+            last = next(phases)
+        except StopIteration as stop:
+            return stop.value, last
+        rounds, matching, extras = last
+        yield Checkpoint(phase=f"{label}-{index}", solution=matching,
+                         objective=len(matching), rounds=rounds,
+                         extras=extras)
+        index += 1
+
+
+def _iter_oneeps_local(instance: Instance, k: float = 2.0,
+                       failure_delta=None, path_cap: int = 200_000,
+                       initial_matching=None):
+    """Anytime Theorem B.4: one checkpoint per Hopcroft–Karp phase;
+    stops cooperatively before any phase past ``max_rounds``."""
+
+    phases = local_matching_1eps_phases(
+        instance.graph, eps=instance.eps, seed=instance.seed, k=k,
+        failure_delta=failure_delta, path_cap=path_cap,
+        initial_matching=initial_matching,
+        max_rounds=instance.max_rounds,
+    )
+    result, last = yield from _checkpoint_matching_phases(phases, "hk-phase")
+    if result is None:
+        rounds, matching, extras = last
+        return _report(instance, matching, len(matching), rounds,
+                       status=TRUNCATED, **extras)
+    return _report(instance, result.matching,
+                   result.cardinality, result.rounds, ledger=result.ledger,
+                   deactivated=result.deactivated,
+                   truncated_phases=result.truncated_phases)
+
+
 @algorithm(name="matching-oneeps", problem="matching", cli="oneeps",
            paper="Theorem B.4",
            guarantee="(1+ε)-approx MCM, LOCAL model",
            bound=lambda inst: 1.0 + inst.eps, uses_eps=True,
-           models=(LOCAL,), tags=("paper",))
+           models=(LOCAL,), tags=("paper",), run_iter=_iter_oneeps_local)
 def _run_oneeps_local(instance: Instance, k: float = 2.0,
                       failure_delta=None, path_cap: int = 200_000,
                       initial_matching=None) -> SolveReport:
@@ -207,11 +304,33 @@ def _run_oneeps_local(instance: Instance, k: float = 2.0,
                    truncated_phases=result.truncated_phases)
 
 
+def _iter_oneeps_congest(instance: Instance, k: float = 2.0,
+                         failure_delta=None, stages=None,
+                         max_iterations=None):
+    """Anytime Theorem B.12: one checkpoint per bipartition stage;
+    stops cooperatively before any stage past ``max_rounds``."""
+
+    phases = congest_matching_1eps_stages(
+        instance.graph, eps=instance.eps, seed=instance.seed, k=k,
+        failure_delta=failure_delta, stages=stages,
+        max_iterations=max_iterations, max_rounds=instance.max_rounds,
+    )
+    result, last = yield from _checkpoint_matching_phases(phases, "stage")
+    if result is None:
+        rounds, matching, extras = last
+        return _report(instance, matching, len(matching), rounds,
+                       status=TRUNCATED, **extras)
+    return _report(instance, result.matching,
+                   result.cardinality, result.rounds, ledger=result.ledger,
+                   deactivated=result.deactivated, stages=result.stages)
+
+
 @algorithm(name="matching-oneeps-congest", problem="matching",
            cli="oneeps-congest", paper="Theorem B.12",
            guarantee="(1+ε)-approx MCM, CONGEST model",
            bound=lambda inst: 1.0 + inst.eps, uses_eps=True,
-           models=(CONGEST,), tags=("paper",))
+           models=(CONGEST,), tags=("paper",),
+           run_iter=_iter_oneeps_congest)
 def _run_oneeps_congest(instance: Instance, k: float = 2.0,
                         failure_delta=None, stages=None,
                         max_iterations=None) -> SolveReport:
@@ -225,11 +344,37 @@ def _run_oneeps_congest(instance: Instance, k: float = 2.0,
                    deactivated=result.deactivated, stages=result.stages)
 
 
+def _iter_oneeps_bipartite(instance: Instance, k: float = 2.0,
+                           failure_delta=None, initial_matching=None,
+                           max_iterations=None):
+    """Anytime Appendix B.3 (bipartite): one checkpoint per length-d
+    phase; stops cooperatively before any phase past ``max_rounds``."""
+
+    left, right = bipartite_sides(instance.graph)
+    ledger = RoundLedger()
+    phases = bipartite_matching_1eps_phases(
+        instance.graph, left, right, eps=instance.eps, seed=instance.seed,
+        k=k, failure_delta=failure_delta,
+        initial_matching=initial_matching, ledger=ledger,
+        max_iterations=max_iterations, max_rounds=instance.max_rounds,
+    )
+    result, last = yield from _checkpoint_matching_phases(phases, "length")
+    if result is None:
+        rounds, matching, extras = last
+        return _report(instance, matching, len(matching), rounds,
+                       status=TRUNCATED, **extras)
+    matching, deactivated = result
+    return _report(instance, matching,
+                   len(matching), ledger.total, ledger=ledger,
+                   deactivated=deactivated)
+
+
 @algorithm(name="matching-oneeps-bipartite", problem="matching",
            paper="Appendix B.3",
            guarantee="(1+ε)-approx MCM on bipartite instances",
            bound=lambda inst: 1.0 + inst.eps, uses_eps=True,
-           requires_bipartite=True, tags=("paper",))
+           requires_bipartite=True, tags=("paper",),
+           run_iter=_iter_oneeps_bipartite)
 def _run_oneeps_bipartite(instance: Instance, k: float = 2.0,
                           failure_delta=None, initial_matching=None,
                           max_iterations=None) -> SolveReport:
@@ -308,3 +453,42 @@ def _run_greedy(instance: Instance) -> SolveReport:
     matching = greedy_weighted_matching(instance.graph)
     return _report(instance, matching,
                    matching_weight(instance.graph, matching), 0)
+
+
+# ----------------------------------------------------------------------
+# Promoted sub-procedures (Section 3.1 / Appendix B.2)
+# ----------------------------------------------------------------------
+# These two used to be internal building blocks only; they now ride the
+# anytime protocol as first-class registry entries (ROADMAP open item).
+@algorithm(name="matching-nearly-maximal", problem="matching",
+           cli="nearly-maximal", paper="Theorem 3.1 on L(G)",
+           guarantee="nearly-maximal matching, O(log Δ/log log Δ) rounds",
+           tags=("paper", "subprocedure"))
+def _run_nearly_maximal_matching(instance: Instance, failure_delta=0.05,
+                                 k=None, beta: float = 4.0) -> SolveReport:
+    matching, unlucky, rounds = nearly_maximal_matching(
+        instance.graph, failure_delta=failure_delta, k=k, beta=beta,
+        seed=instance.seed,
+    )
+    return _report(instance, matching, len(matching), rounds,
+                   unlucky_edges=unlucky)
+
+
+@algorithm(name="mis-nearly-maximal", problem="mis",
+           paper="Theorem 3.1",
+           guarantee="nearly-maximal IS (each node in/dominated w.p. "
+                     "≥ 1-δ), O(log Δ/log K + K² log 1/δ) rounds",
+           tags=("paper", "subprocedure"))
+def _run_mis_nearly_maximal(instance: Instance, failure_delta=0.05,
+                            k=None, beta: float = 4.0,
+                            collect_stats: bool = False) -> SolveReport:
+    network = instance.network()
+    result = improved_nearly_maximal_is(
+        instance.graph, failure_delta=failure_delta, k=k, beta=beta,
+        seed=instance.seed, network=network, collect_stats=collect_stats,
+    )
+    return _report(instance, result.independent_set,
+                   len(result.independent_set), result.rounds,
+                   metrics=network.metrics, residual=result.residual,
+                   iterations=result.iterations, k=result.k,
+                   stats=result.stats)

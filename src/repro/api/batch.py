@@ -237,6 +237,15 @@ class BatchItem:
     def ok(self) -> bool:
         return self.error is None
 
+    @property
+    def status(self) -> str:
+        """``"complete"``/``"truncated"`` from the report, ``"failed"``
+        for a crashed task.  A truncated task is a *successful* one —
+        it returned the best valid partial solution its round budget
+        admitted — so it counts toward ``ok``, never ``failures``."""
+
+        return "failed" if self.error is not None else self.report.status
+
 
 @dataclass
 class BatchReport:
@@ -265,6 +274,13 @@ class BatchReport:
     @property
     def failures(self) -> List[BatchItem]:
         return [item for item in self.items if not item.ok]
+
+    @property
+    def truncated(self) -> List[BatchItem]:
+        """Tasks whose round budget ran out (successful partial runs)."""
+
+        return [item for item in self.items
+                if item.ok and item.report.status != "complete"]
 
     @property
     def reports(self) -> List[SolveReport]:
@@ -298,10 +314,15 @@ class BatchReport:
             r.metrics.messages for r in reports if r.metrics is not None
         )
         bits = sum(r.metrics.bits for r in reports if r.metrics is not None)
+        statuses: Dict[str, int] = {}
+        for item in self.items:
+            status = item.status
+            statuses[status] = statuses.get(status, 0) + 1
         out: Dict[str, object] = {
             "tasks": len(self.items),
             "ok": len(reports),
             "failed": len(self.failures),
+            "statuses": statuses,
             "backend": self.backend,
             "workers": self.workers,
             "rounds_total": sum(rounds),

@@ -1,15 +1,177 @@
-"""``solve`` — the single entry point over every registered algorithm."""
+"""``solve`` / ``solve_iter`` — anytime entry points over the registry.
+
+:func:`solve_iter` is the execution layer's primitive: a generator
+yielding typed :class:`~repro.api.Checkpoint` objects at the running
+algorithm's phase boundaries, enforcing ``Instance.max_rounds`` as it
+goes, and returning the finalized :class:`~repro.api.SolveReport`.
+:func:`solve` is a thin driver that drains it.
+
+Budget semantics
+----------------
+``Instance.max_rounds`` is a hard communication budget.  A checkpoint
+is admissible iff its cumulative ``rounds`` fit the budget; the driver
+adopts the *last admissible valid* checkpoint.  Phase-structured
+algorithms stop cooperatively — they never launch a phase (or simulate
+a round, for simulator-backed ones) past the budget — so a truncated
+run costs nothing extra.  Algorithms on the coarse begin/end adapter
+cannot stop mid-run; their budget is enforced on the emitted
+checkpoints instead (the full run executes, then the report is
+truncated to what the budget admitted).  Either way a budget-exhausted
+``solve`` returns ``status="truncated"`` with a certified partial
+solution instead of raising, and ``bound`` is ``None`` because the
+approximation guarantee only holds for completed runs.  Bandwidth
+budgets stay enforced by the CONGEST simulator itself
+(``bandwidth_factor`` sizes the per-edge word; ``strict`` escalates
+violations from metered to raised).
+"""
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Optional, Union
+from typing import Iterator, Optional, Union
 
 import networkx as nx
 
+from ..utils import drain
+from .anytime import COMPLETE, TRUNCATED, Checkpoint
 from .instance import Instance
 from .registry import AlgorithmSpec, get_algorithm
 from .report import SolveReport
+
+
+def _coarse_phases(spec: AlgorithmSpec, instance: Instance, **options):
+    """Begin/end checkpoint adapter for algorithms without ``run_iter``.
+
+    The legacy runner executes on a budget-stripped instance (a coarse
+    algorithm cannot stop mid-run, and several legacy entry points
+    treat ``max_rounds`` as a hard simulator cap that *raises* on
+    overrun); the driver then enforces the budget on the two emitted
+    checkpoints, so an over-budget run truncates to the empty initial
+    state instead of raising.
+    """
+
+    yield Checkpoint(phase="begin", solution=frozenset(), objective=0,
+                     rounds=0)
+    stripped = (instance if instance.max_rounds is None
+                else replace(instance, max_rounds=None))
+    report = spec.run(stripped, **options)
+    report.instance = instance
+    yield Checkpoint(
+        phase="end",
+        solution=report.solution,
+        objective=report.objective,
+        rounds=report.rounds,
+        bits=report.metrics.bits if report.metrics is not None else 0,
+        final=True,
+        extras=dict(report.extras),
+    )
+    return report
+
+
+def _truncated_report(instance: Instance,
+                      checkpoint: Optional[Checkpoint]) -> SolveReport:
+    """The report for a budget-exhausted run: the best valid checkpoint
+    admitted by the budget (or the empty solution if none was)."""
+
+    return SolveReport(
+        algorithm="",
+        problem="",
+        instance=instance,
+        solution=checkpoint.solution if checkpoint else frozenset(),
+        objective=checkpoint.objective if checkpoint else 0,
+        weighted=False,
+        rounds=checkpoint.rounds if checkpoint else 0,
+        model=instance.model or "",
+        status=TRUNCATED,
+        extras=dict(checkpoint.extras) if checkpoint else {},
+    )
+
+
+def _finalize(spec: AlgorithmSpec, instance: Instance, model: str,
+              report: SolveReport) -> SolveReport:
+    """Stamp the registry identity and certify the (partial) solution."""
+
+    report.algorithm = spec.name
+    report.problem = spec.problem
+    report.weighted = spec.weighted
+    # The guarantee factor only applies to completed runs; a truncated
+    # report carries the partial objective with no bound attached.
+    report.bound = (spec.bound(instance)
+                    if spec.bound is not None and report.status == COMPLETE
+                    else None)
+    report.model = model
+    return report.certify()
+
+
+def solve_iter(
+    instance: Union[Instance, nx.Graph],
+    algorithm: str,
+    problem: Optional[str] = None,
+    **options,
+) -> Iterator[Checkpoint]:
+    """Run ``algorithm`` as a checkpoint stream (the anytime protocol).
+
+    Yields a :class:`~repro.api.Checkpoint` at every phase boundary the
+    algorithm defines — each carrying a valid partial solution, the
+    objective so far and the rounds/bits consumed — and **returns** the
+    finalized :class:`~repro.api.SolveReport` (read it as
+    ``StopIteration.value``, or let :func:`solve` drain the stream).
+    With ``Instance.max_rounds`` set, the stream stops at the last
+    checkpoint the budget admits and the returned report has
+    ``status="truncated"``; abandoning the generator early (``close()``)
+    stops the underlying run cooperatively.
+
+    Every registered algorithm is iterable: phase-structured ones
+    (``maxis-layers``, the (1+ε) matchers) emit real per-phase
+    checkpoints, the rest a coarse begin/end pair.  Fixed-seed results
+    are bit-for-bit identical to the legacy entry points whenever the
+    run completes.
+
+    Lookup and model resolution happen eagerly — an unknown algorithm
+    or unsupported model raises here, at the call site, not at the
+    first ``next()``.
+    """
+
+    if isinstance(instance, nx.Graph):
+        instance = Instance(instance)
+    spec: AlgorithmSpec = get_algorithm(algorithm, problem=problem)
+    model = spec.resolve_model(instance)
+    if instance.model != model:
+        instance = replace(instance, model=model)
+    return _solve_stream(spec, instance, model, **options)
+
+
+def _solve_stream(spec: AlgorithmSpec, instance: Instance, model: str,
+                  **options) -> Iterator[Checkpoint]:
+    """The generator half of :func:`solve_iter` (spec already resolved)."""
+
+    phases = (spec.run_iter(instance, **options)
+              if spec.run_iter is not None
+              else _coarse_phases(spec, instance, **options))
+    budget = instance.max_rounds
+    best: Optional[Checkpoint] = None
+    report: Optional[SolveReport] = None
+    while True:
+        try:
+            checkpoint = next(phases)
+        except StopIteration as stop:
+            report = stop.value
+            break
+        if budget is not None and checkpoint.rounds > budget:
+            # Inadmissible state: close the runner (cooperative stop)
+            # and fall back to the best admitted checkpoint.
+            phases.close()
+            break
+        if checkpoint.valid:
+            best = checkpoint
+        yield checkpoint
+    if report is not None and budget is not None and report.rounds > budget:
+        # A coarse run that finished over budget: keep only what the
+        # budget admitted.
+        report = None
+    if report is None:
+        report = _truncated_report(instance, best)
+    return _finalize(spec, instance, model, report)
 
 
 def solve(
@@ -28,28 +190,18 @@ def solve(
     forwards algorithm-specific knobs (``trace=``, ``audit=``, ``k=``,
     …) to the underlying implementation.
 
-    The run executes with exactly the legacy entry point's defaults and
-    seed handling, so fixed-seed results are bit-for-bit identical to
-    calling :mod:`repro.core` directly; the report's solution is
-    validated (certified) before it is returned.
+    ``solve`` is a thin driver over :func:`solve_iter`: it drains the
+    checkpoint stream and returns the final report.  With no budget
+    set, the run executes with exactly the legacy entry point's
+    defaults and seed handling, so fixed-seed results are bit-for-bit
+    identical to calling :mod:`repro.core` directly; with
+    ``Instance.max_rounds`` set, an exhausted budget yields
+    ``status="truncated"`` and the best valid partial solution instead
+    of raising.  The report's solution is validated (certified) before
+    it is returned in either case.
     """
 
-    if isinstance(instance, nx.Graph):
-        instance = Instance(instance)
-    spec: AlgorithmSpec = get_algorithm(algorithm, problem=problem)
-    model = spec.resolve_model(instance)
-    if instance.model != model:
-        instance = replace(instance, model=model)
-    report: SolveReport = spec.run(instance, **options)
-    # The resolved spec is authoritative for the registry identity; a
-    # runner that mislabels its own _report() call cannot mis-stamp
-    # the problem kind, guarantee bound or objective flavour.
-    report.algorithm = spec.name
-    report.problem = spec.problem
-    report.weighted = spec.weighted
-    report.bound = spec.bound(instance) if spec.bound is not None else None
-    report.model = model
-    return report.certify()
+    return drain(solve_iter(instance, algorithm, problem=problem, **options))
 
 
-__all__ = ["solve"]
+__all__ = ["solve", "solve_iter"]

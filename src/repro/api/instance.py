@@ -48,8 +48,11 @@ class Instance:
         RNG seed handed verbatim to the algorithm, so a fixed
         ``(instance, algorithm)`` pair reproduces a run bit-for-bit.
     max_rounds:
-        Optional round budget forwarded to algorithms that accept one
-        (they otherwise use their paper-derived budgets).
+        Optional hard round budget, enforced by the anytime solve
+        protocol: a run that exhausts it returns a
+        ``status="truncated"`` report with the best valid partial
+        solution instead of raising (``None`` keeps the algorithms'
+        paper-derived budgets).
     bandwidth_factor:
         CONGEST per-edge bandwidth is ``bandwidth_factor · ⌈log2 n⌉``
         bits per round (the simulator default is 8).

@@ -41,6 +41,14 @@ class AlgorithmSpec:
     factor guaranteed on it (e.g. ``lambda inst: 2 + inst.eps``), or is
     ``None`` for heuristics.  ``run`` is the uniform entry point
     ``run(instance, **options) -> SolveReport``.
+
+    ``run_iter``, when set, is the algorithm's *anytime* runner: a
+    generator ``run_iter(instance, **options)`` yielding
+    :class:`~repro.api.Checkpoint` objects at the algorithm's phase
+    boundaries and returning the final report (or ``None`` when a
+    round budget interrupted it cooperatively).  Algorithms without
+    one ride the coarse begin/end adapter in :mod:`repro.api.facade`,
+    so every registry entry is interruptible either way.
     """
 
     name: str
@@ -48,6 +56,7 @@ class AlgorithmSpec:
     paper: str                         # paper anchor, e.g. "Theorem 3.2"
     guarantee: str                     # human-readable guarantee
     run: Callable
+    run_iter: Optional[Callable] = None
     cli: Optional[str] = None
     bound: Optional[Callable[[Instance], float]] = None
     weighted: bool = False             # objective is a weight, not a count
@@ -84,6 +93,9 @@ class AlgorithmSpec:
             "requires_bipartite": self.requires_bipartite,
             "models": list(self.models),
             "tags": list(self.tags),
+            # anytime capability: "phases" = real per-phase checkpoints,
+            # "coarse" = begin/end adapter (still interruptible).
+            "anytime": "phases" if self.run_iter is not None else "coarse",
         }
 
 

@@ -21,6 +21,7 @@ from ..congest.network import NetworkMetrics
 from ..graphs import check_independent_set, check_matching
 from ..matching import optimum_cardinality, optimum_weight
 from ..mis import exact_mwis, mwis_weight
+from .anytime import COMPLETE
 from .instance import Instance
 
 #: Exact optima keyed by graph object, then by (objective kind,
@@ -42,6 +43,13 @@ class SolveReport:
     numeric approximation factor the algorithm guarantees on this
     instance (e.g. Δ for MaxIS, ``2 + ε`` for the fast matching), or
     ``None`` when no factor applies (heuristics / exact baselines).
+
+    ``status`` is :data:`~repro.api.COMPLETE` for a run that finished
+    inside its budgets, or :data:`~repro.api.TRUNCATED` when
+    ``Instance.max_rounds`` ran out first — the solution is then the
+    best *valid partial* solution within the budget (still certified),
+    and ``bound`` is ``None`` because the guarantee only holds for
+    completed runs.
     """
 
     algorithm: str
@@ -52,10 +60,21 @@ class SolveReport:
     weighted: bool
     rounds: int
     model: str
+    status: str = COMPLETE
     bound: Optional[float] = None
     ledger: Optional[RoundLedger] = None
     metrics: Optional[NetworkMetrics] = None
     extras: Dict[str, Any] = field(default_factory=dict)
+    #: Per-report memo of the exact optimum (and the derived
+    #: comparison): ``compare()`` called twice on the same report must
+    #: not re-fingerprint the graph, let alone re-run the exponential
+    #: oracle.  ``init=False`` keeps both out of the constructor.
+    _optimum_memo: Optional[int] = field(default=None, init=False,
+                                         repr=False, compare=False)
+    _comparison_memo: Optional[Dict[str, Any]] = field(default=None,
+                                                       init=False,
+                                                       repr=False,
+                                                       compare=False)
 
     # -- derived views -------------------------------------------------
     @property
@@ -91,9 +110,13 @@ class SolveReport:
         structure/weight fingerprint, and cached across reports
         (``compare()`` and ``as_row(oracle=True)`` both go through
         it); in-place re-weighting or re-wiring changes the
-        fingerprint and triggers a recompute.
+        fingerprint and triggers a recompute.  Repeat calls on the
+        *same* report short-circuit through a per-report memo without
+        re-hashing the graph.
         """
 
+        if self._optimum_memo is not None:
+            return self._optimum_memo
         if self.problem in ("maxis", "mis"):
             kind = self.problem
         else:
@@ -102,7 +125,8 @@ class SolveReport:
         key = (kind, self._oracle_fingerprint())
         if key not in per_graph:
             per_graph[key] = self._compute_optimum()
-        return per_graph[key]
+        self._optimum_memo = per_graph[key]
+        return self._optimum_memo
 
     def _oracle_fingerprint(self) -> int:
         """Hash of everything the exact optimum depends on: the edge
@@ -157,17 +181,25 @@ class SolveReport:
         carries ``extras["deactivated"]`` the bound is checked against
         ``objective + |deactivated|``; ``ratio`` always reflects the
         raw objective.
+
+        The comparison is memoised on the report: a second call
+        returns a copy of the first result instead of recomputing the
+        exact oracle pipeline.
         """
 
-        opt = self.optimum()
-        ratio = approximation_ratio(opt, self.objective)
-        within = True
-        if self.bound is not None:
-            effective = self.objective + len(
-                self.extras.get("deactivated", ())
-            )
-            within = self.bound * effective >= opt
-        return {"optimum": opt, "ratio": ratio, "within_bound": within}
+        if self._comparison_memo is None:
+            opt = self.optimum()
+            ratio = approximation_ratio(opt, self.objective)
+            within = True
+            if self.bound is not None:
+                effective = self.objective + len(
+                    self.extras.get("deactivated", ())
+                )
+                within = self.bound * effective >= opt
+            self._comparison_memo = {
+                "optimum": opt, "ratio": ratio, "within_bound": within,
+            }
+        return dict(self._comparison_memo)
 
     def as_row(self, oracle: bool = False) -> Dict[str, Any]:
         """A flat table/export row (the CLI and bench table shape)."""
@@ -185,6 +217,10 @@ class SolveReport:
             # Weighted problems historically exported this column as
             # "weight" (the `maxis --export` row shape); keep both.
             row["weight"] = self.objective
+        if self.status != COMPLETE:
+            # Complete runs keep the historical row shape; budgeted
+            # runs surface their truncation.
+            row["status"] = self.status
         if self.bound is not None:
             row["bound"] = self.bound
         if oracle:

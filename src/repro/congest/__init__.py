@@ -25,6 +25,7 @@ from .network import (
     LOCAL,
     NetworkMetrics,
     RunResult,
+    StepSnapshot,
     SynchronousNetwork,
 )
 from .node import IdleProgram, NodeContext, NodeProgram
@@ -56,6 +57,7 @@ __all__ = [
     "Payload",
     "RoundLedger",
     "RunResult",
+    "StepSnapshot",
     "SynchronousNetwork",
     "canonical_edge",
     "line_graph",

@@ -82,6 +82,25 @@ class NetworkMetrics:
 
 
 @dataclass
+class StepSnapshot:
+    """Mid-run view yielded by :meth:`SynchronousNetwork.run_stepwise`.
+
+    ``newly_halted`` lists the ``(node, output)`` pairs of nodes that
+    halted since the previous snapshot, so an anytime consumer can
+    maintain a partial solution incrementally instead of re-scanning
+    all ``n`` outputs at every checkpoint.  The last snapshot of a run
+    has ``final=True`` (it is emitted even when the round count does
+    not align with ``checkpoint_every``).
+    """
+
+    rounds: int
+    halted: int
+    total: int
+    newly_halted: tuple
+    final: bool = False
+
+
+@dataclass
 class RunResult:
     """Outcome of executing one protocol on the network.
 
@@ -179,13 +198,20 @@ class SynchronousNetwork:
         max_rounds: int = 10_000,
         label: str = "protocol",
         quiescence_halts: bool = False,
+        stop_on_limit: bool = False,
     ) -> RunResult:
         """Execute one protocol and accumulate its cost into ``metrics``.
 
         The protocol ends when every participant has halted.  If
         ``quiescence_halts`` is true it also ends after a round in which no
         messages were delivered or sent (useful for protocols whose laggards
-        merely wait for notifications that will never come).
+        merely wait for notifications that will never come).  With
+        ``stop_on_limit`` an exhausted ``max_rounds`` budget ends the
+        run cooperatively — the partial outputs are returned with
+        ``completed=False`` — instead of raising
+        :class:`~repro.errors.RoundLimitExceeded`; this is the anytime
+        protocol's budget interruption, and it costs nothing beyond the
+        rounds actually executed.
 
         Scheduling is wake-list based: the round loop maintains the set
         of *runnable* programs — every non-halted node is runnable by
@@ -203,6 +229,41 @@ class SynchronousNetwork:
         ``self.metrics``.
         """
 
+        from ..utils import drain
+
+        return drain(self.run_stepwise(
+            program_factory, participants=participants,
+            max_rounds=max_rounds, label=label,
+            quiescence_halts=quiescence_halts,
+            stop_on_limit=stop_on_limit,
+        ))
+
+    def run_stepwise(
+        self,
+        program_factory: Callable[[Hashable], NodeProgram],
+        participants: Optional[Iterable[Hashable]] = None,
+        max_rounds: int = 10_000,
+        label: str = "protocol",
+        quiescence_halts: bool = False,
+        stop_on_limit: bool = False,
+        checkpoint_every: Optional[int] = None,
+    ):
+        """Generator form of :meth:`run` for anytime consumers.
+
+        With ``checkpoint_every=k`` the generator yields a
+        :class:`StepSnapshot` after every ``k`` executed rounds plus one
+        final snapshot, then returns the :class:`RunResult` (readable
+        as ``StopIteration.value``).  With ``checkpoint_every=None`` it
+        never yields — :meth:`run` drains it in one ``next()`` — so the
+        default path pays no snapshot bookkeeping.  Closing the
+        generator early abandons the run without charging further
+        rounds.
+        """
+
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
         nodes = list(self.graph.nodes if participants is None else participants)
         for node in nodes:
             if node not in self.graph:
@@ -242,6 +303,9 @@ class SynchronousNetwork:
 
         in_flight: List[tuple] = []
         halted_count = 0
+        #: Snapshot bookkeeping: only paid when checkpoints are wanted.
+        tracking = checkpoint_every is not None
+        fresh: List[tuple] = []  # (node, output) halted since last snapshot
         #: Runnable programs in execution (participant) order, as
         #: (position, ctx, program) so late wake-ups re-merge in order.
         runnable: List[tuple] = []
@@ -251,6 +315,8 @@ class SynchronousNetwork:
                 self._collect(ctx, in_flight)
             if ctx._halted:
                 halted_count += 1
+                if tracking:
+                    fresh.append((ctx.node, ctx.output))
             elif not ctx._sleeping:
                 runnable.append((pos, ctx, program))
         #: Sleeping, non-halted programs awaiting mail.
@@ -315,6 +381,8 @@ class SynchronousNetwork:
                     self._collect(ctx, in_flight)
                 if ctx._halted:
                     halted_count += 1
+                    if tracking:
+                        fresh.append((ctx.node, ctx.output))
                 elif ctx._sleeping:
                     parked[id(ctx)] = entry
                 else:
@@ -325,13 +393,17 @@ class SynchronousNetwork:
             if self.on_round_end is not None:
                 self.on_round_end(round_index, total - halted_count,
                                   delivered)
+            if tracking and rounds_used % checkpoint_every == 0:
+                yield StepSnapshot(rounds=rounds_used, halted=halted_count,
+                                   total=total, newly_halted=tuple(fresh))
+                fresh.clear()
             if quiescence_halts and delivered == 0 and not in_flight:
                 break
         else:
             pending = tuple(
                 node for node in nodes if not contexts[node].halted
             )
-            if pending:
+            if pending and not stop_on_limit:
                 raise RoundLimitExceeded(max_rounds, pending)
 
         outputs = {node: contexts[node].output for node in nodes}
@@ -356,6 +428,10 @@ class SynchronousNetwork:
             round_breakdown={label: rounds_used} if rounds_used else {},
             payload_cache=cache_delta,
         )
+        if tracking:
+            yield StepSnapshot(rounds=rounds_used, halted=halted_count,
+                               total=total, newly_halted=tuple(fresh),
+                               final=True)
         return RunResult(outputs=outputs, rounds=rounds_used,
                          metrics=run_metrics,
                          completed=halted_count == total)

@@ -43,10 +43,14 @@ from .augmenting import (
 from .congest_1eps import (
     BipartiteAugmentingPhase,
     CongestOneEpsResult,
+    WaitingPhaseProgram,
     bipartite_matching_1eps,
+    bipartite_matching_1eps_phases,
     congest_matching_1eps,
+    congest_matching_1eps_stages,
     lemma_b11_budget,
     precision_round_factor,
+    waiting_phase_wave,
 )
 from .fast_matching import (
     FastMatchingResult,
@@ -64,6 +68,7 @@ from .hypergraph_matching import (
 from .local_1eps import (
     OneEpsResult,
     local_matching_1eps,
+    local_matching_1eps_phases,
     theorem_b4_round_budget,
 )
 from .local_ratio import (
@@ -71,6 +76,7 @@ from .local_ratio import (
     local_ratio_bound,
     random_mis_selector,
     sequential_local_ratio,
+    sequential_local_ratio_iter,
     split_weights,
 )
 from .matching_via_lines import MatchingResult, matching_local_ratio
@@ -83,6 +89,7 @@ from .maxis_layers import (
     LayerTrace,
     MaxISLayersProgram,
     MaxISResult,
+    maxis_layers_phases,
     maxis_local_ratio_layers,
 )
 from .nearly_maximal_is import (
@@ -124,13 +131,16 @@ __all__ = [
     "ProposalResult",
     "SUM",
     "SimulationCost",
+    "WaitingPhaseProgram",
     "augment_with_disjoint_paths",
     "bipartite_matching_1eps",
+    "bipartite_matching_1eps_phases",
     "bipartite_proposal_matching",
     "bucketed_constant_approx_mwm",
     "build_conflict_graph",
     "canonical_path",
     "congest_matching_1eps",
+    "congest_matching_1eps_stages",
     "enumerate_augmenting_paths",
     "exchange_step",
     "fast_matching_2eps",
@@ -144,8 +154,10 @@ __all__ = [
     "lemma_b13_rounds",
     "lemma_b3_budget",
     "local_matching_1eps",
+    "local_matching_1eps_phases",
     "local_ratio_bound",
     "matching_local_ratio",
+    "maxis_layers_phases",
     "maxis_local_ratio_coloring",
     "maxis_local_ratio_layers",
     "nearly_maximal_hypergraph_matching",
@@ -157,7 +169,9 @@ __all__ = [
     "random_mis_selector",
     "residual_decay_series",
     "sequential_local_ratio",
+    "sequential_local_ratio_iter",
     "shortest_augmenting_path_length",
+    "waiting_phase_wave",
     "split_weights",
     "theorem_2_8_simulation_cost",
     "theorem_3_1_budget",

@@ -45,7 +45,13 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 import networkx as nx
 
-from ..congest import RoundLedger
+from ..congest import (
+    NodeContext,
+    NodeProgram,
+    RoundLedger,
+    RunResult,
+    SynchronousNetwork,
+)
 from ..errors import AlgorithmContractViolation, InvalidInstance
 from ..graphs import check_matching, is_augmenting_path, max_degree
 from ..utils import stable_rng
@@ -391,6 +397,54 @@ class CongestOneEpsResult:
         return len(self.matching)
 
 
+def bipartite_matching_1eps_phases(
+    graph: nx.Graph,
+    a_side: Set[Hashable],
+    b_side: Set[Hashable],
+    eps: float = 0.5,
+    seed: int = 0,
+    k: float = 2.0,
+    failure_delta: Optional[float] = None,
+    initial_matching: Optional[Set[frozenset]] = None,
+    ledger: Optional[RoundLedger] = None,
+    max_iterations: Optional[int] = None,
+    max_rounds: Optional[int] = None,
+):
+    """Anytime form of :func:`bipartite_matching_1eps`.
+
+    Yields ``(rounds, matching, extras)`` after the initial state and
+    after every length-d phase; the matching is valid at every phase
+    boundary.  With ``max_rounds`` set, stops before launching a phase
+    once ``ledger.total`` has reached the budget and returns ``None``;
+    otherwise returns the final ``(matching, deactivated)`` pair.
+    """
+
+    if failure_delta is None:
+        failure_delta = max(1e-3, min(0.1, eps * eps / 4.0))
+    if ledger is None:
+        ledger = RoundLedger()
+    matching = set(initial_matching or set())
+    deactivated: Set[Hashable] = set()
+    max_length = 2 * math.ceil(1.0 / eps) + 1
+    yield ledger.total, frozenset(matching), {"deactivated": set(deactivated)}
+    for d in range(1, max_length + 1, 2):
+        if max_rounds is not None and ledger.total >= max_rounds:
+            return None
+        phase = BipartiteAugmentingPhase(
+            graph, a_side - deactivated, b_side - deactivated,
+            matching, d=d, eps=eps, k=k, failure_delta=failure_delta,
+            seed=seed + 101 * d, max_iterations=max_iterations,
+        )
+        outcome = phase.run(ledger)
+        matching = phase.matching
+        deactivated |= outcome.deactivated
+        check_matching(graph, [tuple(e) for e in matching])
+        yield ledger.total, frozenset(matching), {
+            "deactivated": set(deactivated),
+        }
+    return matching, deactivated
+
+
 def bipartite_matching_1eps(
     graph: nx.Graph,
     a_side: Set[Hashable],
@@ -405,27 +459,16 @@ def bipartite_matching_1eps(
 ) -> Tuple[Set[frozenset], Set[Hashable]]:
     """Run the length-1,3,…,L phase loop on a bipartite graph."""
 
-    if failure_delta is None:
-        failure_delta = max(1e-3, min(0.1, eps * eps / 4.0))
-    if ledger is None:
-        ledger = RoundLedger()
-    matching = set(initial_matching or set())
-    deactivated: Set[Hashable] = set()
-    max_length = 2 * math.ceil(1.0 / eps) + 1
-    for d in range(1, max_length + 1, 2):
-        phase = BipartiteAugmentingPhase(
-            graph, a_side - deactivated, b_side - deactivated,
-            matching, d=d, eps=eps, k=k, failure_delta=failure_delta,
-            seed=seed + 101 * d, max_iterations=max_iterations,
-        )
-        outcome = phase.run(ledger)
-        matching = phase.matching
-        deactivated |= outcome.deactivated
-        check_matching(graph, [tuple(e) for e in matching])
-    return matching, deactivated
+    from ..utils import drain
+
+    return drain(bipartite_matching_1eps_phases(
+        graph, a_side, b_side, eps=eps, seed=seed, k=k,
+        failure_delta=failure_delta, initial_matching=initial_matching,
+        ledger=ledger, max_iterations=max_iterations,
+    ))
 
 
-def congest_matching_1eps(
+def congest_matching_1eps_stages(
     graph: nx.Graph,
     eps: float = 0.5,
     seed: int = 0,
@@ -433,14 +476,21 @@ def congest_matching_1eps(
     failure_delta: Optional[float] = None,
     stages: Optional[int] = None,
     max_iterations: Optional[int] = None,
-) -> CongestOneEpsResult:
-    """Theorem B.12: (1+ε)-approximate MCM in general graphs (CONGEST).
+    max_rounds: Optional[int] = None,
+):
+    """Anytime Theorem B.12: one snapshot per bipartition stage.
 
-    Runs 2^{O(1/ε)} random red/blue bipartition stages; each stage's
-    bipartite subgraph keeps unmatched nodes and bichromatically-matched
-    nodes, so stage augmenting paths are global augmenting paths.  Stops
-    early when a stage leaves the matching unchanged and no short
-    augmenting path survives among active nodes.
+    Generator form of :func:`congest_matching_1eps`: yields
+    ``(rounds, matching, extras)`` after the initial state and after
+    every red/blue stage (the matching is vertex-disjoint at every
+    stage boundary, so each snapshot is a valid partial solution).
+    With ``max_rounds`` set, the generator stops *before* launching a
+    stage once the ledger has consumed the budget — cooperatively, so
+    truncation costs nothing beyond the rounds actually accounted —
+    and returns ``None``; otherwise it returns the usual
+    :class:`CongestOneEpsResult`.  Draining the generator with
+    ``max_rounds=None`` reproduces :func:`congest_matching_1eps` bit
+    for bit.
     """
 
     if eps <= 0:
@@ -455,7 +505,17 @@ def congest_matching_1eps(
     deactivated: Set[Hashable] = set()
     max_length = 2 * math.ceil(1.0 / eps) + 1
     executed = 0
+
+    def snapshot():
+        return ledger.total, frozenset(matching), {
+            "deactivated": set(deactivated),
+            "stages": executed,
+        }
+
+    yield snapshot()
     for stage in range(stages):
+        if max_rounds is not None and ledger.total >= max_rounds:
+            return None
         executed = stage + 1
         colors = {
             v: ("A" if rng.random() < 0.5 else "B") for v in graph.nodes
@@ -497,6 +557,7 @@ def congest_matching_1eps(
         matching = (matching - stage_matching) | new_stage_matching
         deactivated |= new_deactivated
         check_matching(graph, [tuple(e) for e in matching])
+        yield snapshot()
         if len(matching) == before:
             from .augmenting import shortest_augmenting_path_length
 
@@ -513,4 +574,120 @@ def congest_matching_1eps(
         rounds=ledger.total,
         stages=executed,
         ledger=ledger,
+    )
+
+
+def congest_matching_1eps(
+    graph: nx.Graph,
+    eps: float = 0.5,
+    seed: int = 0,
+    k: float = 2.0,
+    failure_delta: Optional[float] = None,
+    stages: Optional[int] = None,
+    max_iterations: Optional[int] = None,
+) -> CongestOneEpsResult:
+    """Theorem B.12: (1+ε)-approximate MCM in general graphs (CONGEST).
+
+    Runs 2^{O(1/ε)} random red/blue bipartition stages; each stage's
+    bipartite subgraph keeps unmatched nodes and bichromatically-matched
+    nodes, so stage augmenting paths are global augmenting paths.  Stops
+    early when a stage leaves the matching unchanged and no short
+    augmenting path survives among active nodes.
+    """
+
+    from ..utils import drain
+
+    return drain(congest_matching_1eps_stages(
+        graph, eps=eps, seed=seed, k=k, failure_delta=failure_delta,
+        stages=stages, max_iterations=max_iterations,
+    ))
+
+
+# ----------------------------------------------------------------------
+# the waiting phase, as a real message-passing program (wake-list port)
+# ----------------------------------------------------------------------
+class WaitingPhaseProgram(NodeProgram):
+    """One node of the (1+ε) matcher's waiting phase, on the simulator.
+
+    Between traversal iterations, Appendix B.3's matched nodes are pure
+    *waiters*: they take no action until a forward probe from some free
+    node reaches them.  ``park=True`` ports that waiting onto
+    :meth:`~repro.congest.NodeContext.sleep` — a waiter is skipped by
+    the wake-list scheduler entirely until a probe wakes it, so the
+    (typically huge) quiet majority costs nothing per round.
+    ``park=False`` is the busy-wait twin, stepped every round; the
+    scheduling test pins that both agree on outputs and round count
+    while the parked run does a small fraction of the work.
+
+    A free node floods ``("probe", 0)`` and halts; a waiter woken by
+    probes at depth ``t`` re-floods at depth ``t+1`` while ``t+1 < d``
+    and halts ``("reached", t+1)``.  Waiters never probed stay asleep
+    (quiescence ends the run) and output ``None``.
+    """
+
+    def __init__(self, free: bool, d: int, park: bool = True,
+                 steps: Optional[Dict[str, int]] = None):
+        self.free = free
+        self.d = d
+        self.park = park
+        self.steps = steps
+
+    def on_start(self, ctx: NodeContext) -> None:
+        if self.free:
+            ctx.broadcast("probe", 0)
+            ctx.halt(("source", 0))
+        elif self.park:
+            ctx.sleep()
+
+    def on_round(self, ctx: NodeContext) -> None:
+        if self.steps is not None:
+            self.steps["stepped"] = self.steps.get("stepped", 0) + 1
+        depths = [
+            payload[1] for payload in ctx.inbox.values()
+            if payload and payload[0] == "probe"
+        ]
+        if not depths:
+            if self.park:
+                ctx.sleep()
+            return
+        depth = min(depths) + 1
+        if depth < self.d:
+            ctx.broadcast("probe", depth)
+        ctx.halt(("reached", depth))
+
+
+def waiting_phase_wave(
+    graph: nx.Graph,
+    matching: Set[frozenset],
+    d: int,
+    network: Optional[SynchronousNetwork] = None,
+    seed: int = 0,
+    park: bool = True,
+    steps: Optional[Dict[str, int]] = None,
+    label: str = "b3-waiting-wave",
+) -> RunResult:
+    """Run one waiting-phase probe wave of depth ``d`` on the simulator.
+
+    Free (unmatched) nodes initiate the wave; every matched node is a
+    laggard that — with ``park=True`` (the default) — sleeps on the
+    wake list until a probe arrives.  Pass ``steps`` (a mutable dict)
+    to count how many times waiters were actually stepped; the parked
+    run touches only the nodes within distance ``d`` of a free node,
+    which is the wake-list saving the batch-execution PR's scheduler
+    was built for.
+    """
+
+    mate: Dict[Hashable, Hashable] = {}
+    for edge in matching:
+        u, v = tuple(edge)
+        mate[u] = v
+        mate[v] = u
+    if network is None:
+        network = SynchronousNetwork(graph, seed=seed)
+    return network.run(
+        lambda v: WaitingPhaseProgram(v not in mate, d, park=park,
+                                      steps=steps),
+        max_rounds=d + 2,
+        quiescence_halts=True,
+        label=label,
     )

@@ -54,6 +54,90 @@ class OneEpsResult:
         return len(self.matching)
 
 
+def local_matching_1eps_phases(
+    graph: nx.Graph,
+    eps: float = 0.5,
+    seed: int = 0,
+    k: float = 2.0,
+    failure_delta: Optional[float] = None,
+    path_cap: int = 200_000,
+    initial_matching: Optional[Set[frozenset]] = None,
+    max_rounds: Optional[int] = None,
+):
+    """Anytime Theorem B.4: one snapshot per Hopcroft–Karp phase.
+
+    A generator yielding ``(rounds, matching, extras)`` triples — the
+    initial state and then one snapshot after every length-ℓ phase.
+    The matching is vertex-disjoint at every phase boundary, so each
+    snapshot is a valid partial solution; ``extras`` carries the
+    ``deactivated`` node set and ``truncated_phases`` so far.
+
+    With ``max_rounds`` set, the generator stops *before* launching a
+    phase once the ledger has consumed the budget (cooperative: no
+    rounds beyond the budget are simulated) and returns ``None``; a
+    run that finishes within the budget — and any run without one —
+    returns the usual :class:`OneEpsResult`.  Draining the generator
+    with ``max_rounds=None`` reproduces :func:`local_matching_1eps`
+    bit for bit.
+    """
+
+    if eps <= 0:
+        raise InvalidInstance(f"eps must be positive, got {eps}")
+    if failure_delta is None:
+        failure_delta = max(1e-4, min(0.1, eps * eps / 4.0))
+    max_length = 2 * math.ceil(1.0 / eps) + 1
+    ledger = RoundLedger()
+    matching: Set[frozenset] = set(initial_matching or set())
+    if matching:
+        check_matching(graph, [tuple(e) for e in matching])
+    active: Set[Hashable] = set(graph.nodes)
+    truncated: List[int] = []
+
+    def snapshot():
+        return ledger.total, frozenset(matching), {
+            "deactivated": set(graph.nodes) - active,
+            "truncated_phases": list(truncated),
+        }
+
+    yield snapshot()
+    for length in range(1, max_length + 1, 2):
+        if max_rounds is not None and ledger.total >= max_rounds:
+            return None
+        paths = enumerate_augmenting_paths(
+            graph, matching, length, active=active, cap=path_cap,
+        )
+        ledger.charge(length + 1, f"enumerate-l{length}")
+        if paths:
+            if len(paths) >= path_cap:
+                truncated.append(length)
+            verify_hk_phase(graph, matching, paths)
+            hyperedges = [frozenset(p) for p in paths]
+            outcome = nearly_maximal_hypergraph_matching(
+                hyperedges,
+                rank=length + 1,
+                k=k,
+                failure_delta=failure_delta,
+                seed=seed + 31 * length,
+            )
+            # Each conflict-structure iteration = O(ℓ) base-graph rounds.
+            ledger.charge(outcome.iterations * (length + 1),
+                          f"nmm-phase-l{length}")
+            chosen = [paths[i] for i in outcome.matched_edges]
+            matching = augment_with_disjoint_paths(matching, chosen)
+            ledger.charge(1, f"flip-l{length}")
+            active -= outcome.deactivated
+            check_matching(graph, [tuple(e) for e in matching])
+        yield snapshot()
+
+    return OneEpsResult(
+        matching=matching,
+        deactivated=set(graph.nodes) - active,
+        rounds=ledger.total,
+        ledger=ledger,
+        truncated_phases=truncated,
+    )
+
+
 def local_matching_1eps(
     graph: nx.Graph,
     eps: float = 0.5,
@@ -71,52 +155,12 @@ def local_matching_1eps(
     the enumerated subset — keep instances small or ε moderate).
     """
 
-    if eps <= 0:
-        raise InvalidInstance(f"eps must be positive, got {eps}")
-    if failure_delta is None:
-        failure_delta = max(1e-4, min(0.1, eps * eps / 4.0))
-    max_length = 2 * math.ceil(1.0 / eps) + 1
-    ledger = RoundLedger()
-    matching: Set[frozenset] = set(initial_matching or set())
-    if matching:
-        check_matching(graph, [tuple(e) for e in matching])
-    active: Set[Hashable] = set(graph.nodes)
-    truncated: List[int] = []
+    from ..utils import drain
 
-    for length in range(1, max_length + 1, 2):
-        paths = enumerate_augmenting_paths(
-            graph, matching, length, active=active, cap=path_cap,
-        )
-        ledger.charge(length + 1, f"enumerate-l{length}")
-        if not paths:
-            continue
-        if len(paths) >= path_cap:
-            truncated.append(length)
-        verify_hk_phase(graph, matching, paths)
-        hyperedges = [frozenset(p) for p in paths]
-        outcome = nearly_maximal_hypergraph_matching(
-            hyperedges,
-            rank=length + 1,
-            k=k,
-            failure_delta=failure_delta,
-            seed=seed + 31 * length,
-        )
-        # Each conflict-structure iteration = O(ℓ) base-graph rounds.
-        ledger.charge(outcome.iterations * (length + 1),
-                      f"nmm-phase-l{length}")
-        chosen = [paths[i] for i in outcome.matched_edges]
-        matching = augment_with_disjoint_paths(matching, chosen)
-        ledger.charge(1, f"flip-l{length}")
-        active -= outcome.deactivated
-        check_matching(graph, [tuple(e) for e in matching])
-
-    return OneEpsResult(
-        matching=matching,
-        deactivated=set(graph.nodes) - active,
-        rounds=ledger.total,
-        ledger=ledger,
-        truncated_phases=truncated,
-    )
+    return drain(local_matching_1eps_phases(
+        graph, eps=eps, seed=seed, k=k, failure_delta=failure_delta,
+        path_cap=path_cap, initial_matching=initial_matching,
+    ))
 
 
 def theorem_b4_round_budget(delta: int, eps: float, k: float = 2.0,

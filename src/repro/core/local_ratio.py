@@ -108,31 +108,21 @@ def random_mis_selector(seed: int) -> SelectorFn:
     return selector
 
 
-def sequential_local_ratio(
+def sequential_local_ratio_iter(
     graph: nx.Graph,
     weights: Optional[Dict[Hashable, float]] = None,
     selector: Optional[SelectorFn] = None,
     trace: Optional[List[dict]] = None,
-) -> Set[Hashable]:
-    """Algorithm 1 (SeqLR): Δ-approximate maximum weight independent set.
+):
+    """Anytime Algorithm 1: one snapshot per exchange level.
 
-    Parameters
-    ----------
-    graph:
-        Input graph; node weights default to the ``weight`` attribute.
-    weights:
-        Optional explicit weight vector (overrides node attributes).
-    selector:
-        How the independent set ``U`` is picked each level (the paper
-        leaves this open; correctness holds for any choice).
-    trace:
-        Optional list that receives one record per recursion level with
-        the chosen set and the weight split — consumed by property tests
-        asserting the Lemma 2.2 invariants.
-
-    Returns the chosen independent set.  Implemented iteratively (an
-    explicit stack) to avoid Python's recursion limit on deep instances,
-    but structured exactly as the paper's recursion.
+    Generator form of :func:`sequential_local_ratio`: after the
+    descent, every Lemma 2.2 exchange step yields ``(level,
+    solution)`` with the partially assembled independent set — each
+    intermediate state is itself independent (the exchange only adds
+    nodes with no chosen neighbor), so every snapshot is a valid
+    partial solution.  Returns the final set; draining the generator
+    reproduces :func:`sequential_local_ratio` exactly.
     """
 
     if weights is None:
@@ -171,10 +161,44 @@ def sequential_local_ratio(
 
     # Ascend: Lemma 2.2 exchange at every level, deepest first.
     solution: Set[Hashable] = set()
-    for chosen in reversed(levels):
-        solution = exchange_step(graph, chosen, solution)
+    for level in range(len(levels) - 1, -1, -1):
+        solution = exchange_step(graph, levels[level], solution)
+        yield level, frozenset(solution)
     check_independent_set(graph, solution)
     return solution
+
+
+def sequential_local_ratio(
+    graph: nx.Graph,
+    weights: Optional[Dict[Hashable, float]] = None,
+    selector: Optional[SelectorFn] = None,
+    trace: Optional[List[dict]] = None,
+) -> Set[Hashable]:
+    """Algorithm 1 (SeqLR): Δ-approximate maximum weight independent set.
+
+    Parameters
+    ----------
+    graph:
+        Input graph; node weights default to the ``weight`` attribute.
+    weights:
+        Optional explicit weight vector (overrides node attributes).
+    selector:
+        How the independent set ``U`` is picked each level (the paper
+        leaves this open; correctness holds for any choice).
+    trace:
+        Optional list that receives one record per recursion level with
+        the chosen set and the weight split — consumed by property tests
+        asserting the Lemma 2.2 invariants.
+
+    Returns the chosen independent set.  Implemented iteratively (an
+    explicit stack) to avoid Python's recursion limit on deep instances,
+    but structured exactly as the paper's recursion.
+    """
+
+    from ..utils import drain
+
+    return drain(sequential_local_ratio_iter(graph, weights=weights,
+                                             selector=selector, trace=trace))
 
 
 def local_ratio_bound(graph: nx.Graph, delta: Optional[int] = None) -> int:

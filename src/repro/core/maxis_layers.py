@@ -195,6 +195,80 @@ class MaxISResult:
     trace: Optional[LayerTrace] = None
 
 
+def default_round_budget(graph: nx.Graph) -> int:
+    """Theorem 2.3's budget with generous constants: O(MIS(G) · log W)
+    selection rounds plus the addition-stage cascade."""
+
+    import math
+
+    n = max(2, graph.number_of_nodes())
+    w = max(2, max_node_weight(graph))
+    return 600 * (math.ceil(math.log2(n)) + 2) * (
+        math.ceil(math.log2(w)) + 2
+    )
+
+
+def maxis_layers_phases(
+    graph: nx.Graph,
+    seed: int = 0,
+    network: Optional[SynchronousNetwork] = None,
+    max_rounds: Optional[int] = None,
+    trace: Optional[LayerTrace] = None,
+    label: str = "maxis-layers",
+    checkpoint_every: int = 3,
+):
+    """Anytime Algorithm 2: one snapshot per selection phase.
+
+    A generator that drives the protocol through
+    :meth:`~repro.congest.SynchronousNetwork.run_stepwise` and yields a
+    ``(rounds, chosen, weight, final)`` tuple at every selection-phase
+    boundary (one phase = 3 simulator rounds; ``final`` marks the
+    run's last snapshot).  ``chosen`` is the set
+    of nodes that have joined the independent set so far — independent
+    at *every* prefix of the execution, because the stack discipline
+    only lets a node join once every undecided neighbor has declined —
+    so each snapshot is a valid partial solution in its own right (the
+    "expected value by round T" object of the MaxIS analysis).
+
+    Returns (as ``StopIteration.value``) the usual :class:`MaxISResult`
+    when the protocol completes, or ``None`` when the ``max_rounds``
+    budget interrupts it cooperatively; the last yielded snapshot then
+    holds the best partial solution, and no rounds beyond the budget
+    are executed.  Draining the generator with no budget reproduces
+    :func:`maxis_local_ratio_layers` bit for bit.
+    """
+
+    if network is None:
+        network = SynchronousNetwork(graph, seed=seed)
+    if max_rounds is None:
+        max_rounds = default_round_budget(graph)
+    stepper = network.run_stepwise(
+        lambda node: MaxISLayersProgram(node_weight(graph, node), trace),
+        max_rounds=max_rounds,
+        label=label,
+        stop_on_limit=True,
+        checkpoint_every=checkpoint_every,
+    )
+    chosen: Set[Hashable] = set()
+    weight = 0
+    while True:
+        try:
+            snapshot = next(stepper)
+        except StopIteration as stop:
+            result = stop.value
+            break
+        for node, output in snapshot.newly_halted:
+            if output == IN_IS:
+                chosen.add(node)
+                weight += node_weight(graph, node)
+        yield snapshot.rounds, frozenset(chosen), weight, snapshot.final
+    check_independent_set(graph, chosen)
+    if not result.completed:
+        return None
+    return MaxISResult(independent_set=set(chosen), rounds=result.rounds,
+                       weight=weight, trace=trace)
+
+
 def maxis_local_ratio_layers(
     graph: nx.Graph,
     seed: int = 0,
@@ -214,15 +288,7 @@ def maxis_local_ratio_layers(
     if network is None:
         network = SynchronousNetwork(graph, seed=seed)
     if max_rounds is None:
-        import math
-
-        n = max(2, graph.number_of_nodes())
-        w = max(2, max_node_weight(graph))
-        # Theorem 2.3 budget with generous constants: O(MIS(G) * log W)
-        # selection rounds plus the addition-stage cascade.
-        max_rounds = 600 * (math.ceil(math.log2(n)) + 2) * (
-            math.ceil(math.log2(w)) + 2
-        )
+        max_rounds = default_round_budget(graph)
     result = network.run(
         lambda node: MaxISLayersProgram(node_weight(graph, node), trace),
         max_rounds=max_rounds,

@@ -70,6 +70,7 @@ from .artifact import (
     validate_artifact,
     write_artifact,
 )
+from .diff import diff_artifacts, render_diff
 from .registry import (
     UnknownExperiment,
     build_graph,
@@ -94,6 +95,7 @@ __all__ = [
     "artifact_path",
     "artifact_to_json",
     "build_graph",
+    "diff_artifacts",
     "get_experiment",
     "get_measurement",
     "list_experiments",
@@ -103,6 +105,7 @@ __all__ = [
     "register_experiment",
     "register_graph_family",
     "register_measurement",
+    "render_diff",
     "run_experiment",
     "validate_artifact",
     "write_artifact",

@@ -1166,6 +1166,155 @@ COMPARISON = register_experiment(ExperimentSpec(
 
 
 # ======================================================================
+# BUD — anytime budget sweeps (quality-vs-round curves)
+# ======================================================================
+def _anytime_contract_check(rows):
+    """The anytime protocol's contract, per (algorithm, ε) curve:
+    truncated runs fit their budget, quality never decreases with more
+    budget, the unbounded run completes, and every completed run
+    matches the unbounded objective (prefix-of-the-same-run
+    determinism at a fixed seed)."""
+
+    order, groups = [], {}
+    for row in rows:
+        key = (row["algorithm"], row.get("eps"))
+        if key not in groups:
+            order.append(key)
+            groups[key] = []
+        groups[key].append(row)
+    for key in order:
+        group = groups[key]
+        objectives = [r["objective"] for r in group]
+        assert objectives == sorted(objectives), (
+            f"{key}: quality decreased with budget: {objectives}"
+        )
+        final = group[-1]
+        assert final["status"] == "complete", (
+            f"{key}: unbounded run did not complete"
+        )
+        for row in group:
+            if row["budget"] is not None:
+                assert row["rounds"] <= row["budget"], (
+                    f"{key}: consumed {row['rounds']} rounds on a "
+                    f"budget of {row['budget']}"
+                )
+            if row["status"] == "complete":
+                assert row["objective"] == final["objective"], (
+                    f"{key}: a completed budgeted run diverged from "
+                    "the unbounded run"
+                )
+
+    return None
+
+
+def _curve_moves_check(rows):
+    """The sweep must actually exercise truncation: a zero budget
+    yields the empty solution, and some budget improves on it."""
+
+    for row in rows:
+        if row["budget"] == 0:
+            assert row["objective"] == 0, (
+                "a zero-round budget returned a non-empty solution"
+            )
+            assert row["status"] == "truncated", (
+                "a zero-round budget did not truncate"
+            )
+    objectives = [r["objective"] for r in rows]
+    assert max(objectives) > min(objectives), (
+        "the budget sweep never changed the objective"
+    )
+
+
+_BUDGETS_MAXIS_G = _gnp(40, 0.1, 1, node_w={"max_weight": 64, "seed": 2})
+_BUDGETS_ONEEPS_G = _gnp(24, 0.18, 4)
+_BUDGETS_CONGEST_G = _gnp(20, 0.2, 6)
+_BUDGETS_COARSE_G = _gnp(20, 0.2, 8)
+
+BUDGETS = register_experiment(ExperimentSpec(
+    name="budgets",
+    title="BUD: anytime budget sweeps (max_rounds × ε)",
+    description=(
+        "The paper's guarantees are round-for-quality trade-offs; "
+        "this experiment records the empirical curves.  Each section "
+        "sweeps Instance.max_rounds over one algorithm (crossed with "
+        "ε for the (1+ε) matcher) through the anytime solve protocol: "
+        "a truncated run returns the best valid partial solution "
+        "within the budget instead of raising."
+    ),
+    tags=("anytime", "budgets"),
+    sections=(
+        Section(
+            name="maxis_curve",
+            title="BUD-a: Algorithm 2 weight vs round budget "
+                  "(phase-grain truncation)",
+            measurement="budget_curve",
+            grid=tuple(
+                {"graph": _BUDGETS_MAXIS_G, "algorithm": "maxis-layers",
+                 "budget": budget}
+                for budget in (0, 2, 4, 6, 8, None)
+            ),
+            seeds=(3,),
+            checks=(
+                _rows_check("anytime_contract", _anytime_contract_check),
+                _rows_check("curve_moves", _curve_moves_check),
+            ),
+        ),
+        Section(
+            name="oneeps_curve",
+            title="BUD-b: (1+ε) LOCAL matcher, ε × budget "
+                  "(Hopcroft–Karp phase grain)",
+            measurement="budget_curve",
+            grid=tuple(
+                {"graph": _BUDGETS_ONEEPS_G,
+                 "algorithm": "matching-oneeps", "eps": eps,
+                 "budget": budget}
+                for eps in (1.0, 0.5)
+                for budget in (0, 15, 19, None)
+            ),
+            seeds=(5,),
+            checks=(
+                _rows_check("anytime_contract", _anytime_contract_check),
+                _rows_check("curve_moves", _curve_moves_check),
+            ),
+        ),
+        Section(
+            name="congest_stage_curve",
+            title="BUD-c: (1+ε) CONGEST matcher vs budget (stage grain)",
+            measurement="budget_curve",
+            grid=tuple(
+                {"graph": _BUDGETS_CONGEST_G,
+                 "algorithm": "matching-oneeps-congest", "eps": 0.5,
+                 "budget": budget}
+                for budget in (0, 60, 150, None)
+            ),
+            seeds=(7,),
+            checks=(
+                _rows_check("anytime_contract", _anytime_contract_check),
+                _rows_check("curve_moves", _curve_moves_check),
+            ),
+        ),
+        Section(
+            name="coarse_truncation",
+            title="BUD-d: coarse begin/end adapter (every registered "
+                  "algorithm is interruptible)",
+            measurement="budget_curve",
+            grid=tuple(
+                {"graph": _BUDGETS_COARSE_G,
+                 "algorithm": "matching-fast2eps", "eps": 0.5,
+                 "budget": budget}
+                for budget in (0, None)
+            ),
+            seeds=(9,),
+            checks=(
+                _rows_check("anytime_contract", _anytime_contract_check),
+                _rows_check("curve_moves", _curve_moves_check),
+            ),
+        ),
+    ),
+))
+
+
+# ======================================================================
 # PERF — wall-clock tracking for the batch engine and the simulator
 # ======================================================================
 # The one catalog experiment exempt from the byte-determinism contract:

@@ -339,6 +339,39 @@ def _nmis_budget_residual(graph, seed, delta=6, k=2.0, failure_delta=0.05,
 
 
 # ----------------------------------------------------------------------
+# Anytime budget curves (the `budgets` experiment)
+# ----------------------------------------------------------------------
+@register_measurement("budget_curve")
+def _budget_curve(graph, seed, algorithm="maxis-layers", budget=None,
+                  eps=None, model=None, oracle=False):
+    """One budgeted anytime solve: a point on the quality-vs-rounds curve.
+
+    ``budget`` is forwarded as ``Instance.max_rounds`` (``None`` = run
+    to completion); the measures record the partial/full objective,
+    the rounds actually consumed, and the ``status`` so the checks can
+    assert the anytime contract — truncated runs fit the budget, more
+    budget never hurts, and the unbounded run completes.
+    """
+
+    kwargs = {} if eps is None else {"eps": eps}
+    report = solve(
+        Instance(graph, model=model, seed=seed, max_rounds=budget,
+                 **kwargs),
+        algorithm,
+    )
+    measures = {
+        "objective": report.objective,
+        "size": report.size,
+        "rounds": report.rounds,
+        "status": report.status,
+        "complete": report.status == "complete",
+    }
+    if oracle:
+        _oracle(measures, report, ratio_key=None)
+    return measures, report.metrics
+
+
+# ----------------------------------------------------------------------
 # Congestion accounting (Theorem 2.8) and baselines
 # ----------------------------------------------------------------------
 @register_measurement("t28_cost")

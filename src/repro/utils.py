@@ -22,6 +22,22 @@ def stable_rng(seed: int, *parts) -> random.Random:
     return random.Random(int.from_bytes(digest[:8], "big"))
 
 
+def drain(generator):
+    """Consume a generator for its return value (``StopIteration.value``).
+
+    The anytime execution layer is built on generators that yield
+    per-phase snapshots and *return* the final result; every
+    non-anytime entry point drains its generator twin through this one
+    helper so the idiom lives in exactly one place.
+    """
+
+    while True:
+        try:
+            next(generator)
+        except StopIteration as stop:
+            return stop.value
+
+
 def ilog2(x: int) -> int:
     """Return ``ceil(log2(x))`` for a positive integer, with ilog2(1) == 0."""
 

@@ -112,6 +112,26 @@ class TestSolveReport:
         assert fresh == mwis_weight(graph, exact_mwis(graph))
         assert fresh != stale  # weights in [1,8] vs [1,64] must differ
 
+    def test_compare_memoised_on_the_report(self):
+        from repro.graphs import assign_node_weights, gnp_graph
+
+        graph = assign_node_weights(gnp_graph(12, 0.3, seed=4), 8, seed=5)
+        report = solve(Instance(graph, seed=1), "maxis-layers")
+        first = report.compare()
+        # Re-weighting in place changes the oracle fingerprint, so a
+        # *fresh* report recomputes — but the same report must serve
+        # its memo instead of re-running the oracle pipeline.
+        assign_node_weights(graph, 64, seed=99)
+        assert report.compare() == first
+        assert report.optimum() == first["optimum"]
+        fresh = solve(Instance(graph, seed=1), "maxis-layers")
+        assert fresh.compare()["optimum"] != first["optimum"]
+
+    def test_compare_returns_a_private_copy(self, report):
+        first = report.compare()
+        first["optimum"] = -1
+        assert report.compare()["optimum"] != -1
+
     def test_mis_objective_is_cardinality(self, weighted_graph):
         report = solve(Instance(weighted_graph, seed=3), "mis-luby")
         assert report.objective == report.size

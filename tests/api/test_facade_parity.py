@@ -22,10 +22,12 @@ from repro.core import (
     fast_matching_2eps,
     fast_matching_weighted_2eps,
     general_proposal_matching,
+    improved_nearly_maximal_is,
     local_matching_1eps,
     matching_local_ratio,
     maxis_local_ratio_coloring,
     maxis_local_ratio_layers,
+    nearly_maximal_matching,
     weight_group_matching,
 )
 from repro.graphs import (
@@ -138,6 +140,17 @@ def _legacy_greedy(g):
     return matching, matching_weight(g, matching), 0, None
 
 
+def _legacy_nearly_maximal_matching(g):
+    matching, _unlucky, rounds = nearly_maximal_matching(g, seed=SEED)
+    return matching, len(matching), rounds, None
+
+
+def _legacy_mis_nearly_maximal(g):
+    result = improved_nearly_maximal_is(g, seed=SEED)
+    return (result.independent_set, len(result.independent_set),
+            result.rounds, None)
+
+
 LEGACY = {
     "maxis-layers": _legacy_maxis_layers,
     "maxis-coloring": _legacy_maxis_coloring,
@@ -153,6 +166,8 @@ LEGACY = {
     "matching-proposal-bipartite": _legacy_proposal_bipartite,
     "matching-israeli-itai": _legacy_israeli_itai,
     "matching-greedy": _legacy_greedy,
+    "matching-nearly-maximal": _legacy_nearly_maximal_matching,
+    "mis-nearly-maximal": _legacy_mis_nearly_maximal,
 }
 
 

@@ -173,6 +173,46 @@ class TestParticipantSubset:
         assert result.outputs[4] == []
 
 
+class TestRunStepwise:
+    def test_checkpoint_every_zero_rejected(self):
+        g = path_graph(2)
+        net = SynchronousNetwork(g, seed=0)
+        with pytest.raises(ValueError):
+            next(net.run_stepwise(lambda n: HaltAfter(1), max_rounds=5,
+                                  checkpoint_every=0))
+
+    def test_snapshots_track_newly_halted_and_final(self):
+        g = path_graph(4)
+        net = SynchronousNetwork(g, seed=0)
+        stepper = net.run_stepwise(lambda n: HaltAfter(n + 1),
+                                   max_rounds=10, checkpoint_every=1)
+        snapshots = []
+        while True:
+            try:
+                snapshots.append(next(stepper))
+            except StopIteration as stop:
+                result = stop.value
+                break
+        assert result.completed
+        # node i halts in round i (HaltAfter(i+1)); one per snapshot
+        assert [s.newly_halted for s in snapshots[:4]] == [
+            ((0, "done"),), ((1, "done"),), ((2, "done"),),
+            ((3, "done"),),
+        ]
+        assert snapshots[-1].final
+        assert snapshots[-1].halted == 4
+        assert all(not s.final for s in snapshots[:-1])
+
+    def test_stop_on_limit_returns_partial_instead_of_raising(self):
+        g = path_graph(3)
+        net = SynchronousNetwork(g, seed=0)
+        result = net.run(lambda n: NeverHalts(), max_rounds=4,
+                         stop_on_limit=True)
+        assert result.completed is False
+        assert result.rounds == 4
+        assert result.output_set(None) == set(g.nodes)
+
+
 class TestSleepWake:
     def test_sleeper_woken_by_late_mail(self):
         g = path_graph(2)

@@ -1,0 +1,95 @@
+"""The (1+ε) matcher's waiting phase on ``NodeContext.sleep()``.
+
+Appendix B.3's matched nodes are pure waiters between traversal
+iterations: they act only when a probe from a free node reaches them.
+:func:`repro.core.waiting_phase_wave` runs that phase as a real
+message-passing program with the waiters parked on the simulator's
+wake list; these tests pin the port's contract on a state produced by
+the actual (1+ε) CONGEST matcher:
+
+* sleeping waiters and their busy-wait twins agree on every output
+  and on the round count (scheduling changes the work, never the
+  semantics);
+* the parked run steps only the nodes the wave actually touches —
+  the wake-list savings the scheduler was built for.
+"""
+
+from repro.core import congest_matching_1eps, waiting_phase_wave
+from repro.graphs import path_graph
+
+EPS = 0.5
+SEED = 2
+
+
+def matcher_state(n=120):
+    """A near-maximal matching from the real (1+ε) CONGEST matcher on a
+    long path: almost every node ends up matched (a waiter), free
+    nodes are a tiny fringe — the waiting phase's typical shape."""
+
+    graph = path_graph(n)
+    result = congest_matching_1eps(graph, eps=EPS, seed=SEED)
+    return graph, result.matching
+
+
+class TestWaitingPhaseWave:
+    def test_matcher_leaves_mostly_waiters(self):
+        graph, matching = matcher_state()
+        matched = {v for e in matching for v in e}
+        free = set(graph.nodes) - matched
+        assert len(free) <= len(graph.nodes) // 4, (
+            "workload is not laggard-heavy; the scheduling pin below "
+            "would be meaningless"
+        )
+        assert free, "need at least one free node to start the wave"
+
+    def test_sleeping_matches_polling_bit_for_bit(self):
+        graph, matching = matcher_state()
+        d = 2 * round(1.0 / EPS) + 1
+        parked = waiting_phase_wave(graph, matching, d, seed=3, park=True)
+        polling = waiting_phase_wave(graph, matching, d, seed=3,
+                                     park=False)
+        assert parked.outputs == polling.outputs
+        assert parked.rounds == polling.rounds
+
+    def test_wake_list_step_savings(self):
+        graph, matching = matcher_state()
+        d = 2 * round(1.0 / EPS) + 1
+        parked_steps = {}
+        polling_steps = {}
+        waiting_phase_wave(graph, matching, d, seed=3, park=True,
+                           steps=parked_steps)
+        waiting_phase_wave(graph, matching, d, seed=3, park=False,
+                           steps=polling_steps)
+        stepped = parked_steps.get("stepped", 0)
+        polled = polling_steps.get("stepped", 0)
+        # A parked waiter is stepped once per probe delivery; the
+        # polling twin steps every matched node every round.  Pin a
+        # conservative 3× saving (measured ~7× on this fixed-seed
+        # workload) so a slightly different matcher state cannot break
+        # the test while a scheduling regression still will.
+        assert stepped > 0, "the wave reached no waiter at all"
+        assert stepped * 3 < polled, (
+            f"wake-list savings regressed: {stepped} parked steps vs "
+            f"{polled} polling steps"
+        )
+
+    def test_wave_reaches_exactly_the_d_neighborhood(self):
+        graph, matching = matcher_state()
+        d = 3
+        result = waiting_phase_wave(graph, matching, d, seed=4)
+        matched = {v for e in matching for v in e}
+        free = set(graph.nodes) - matched
+        reached = {node for node, out in result.outputs.items()
+                   if out is not None and out[0] == "reached"}
+        untouched = {node for node, out in result.outputs.items()
+                     if out is None}
+        # On a path, distance is |i - j|: a waiter is reached iff some
+        # free node sits within d hops.
+        for node in reached:
+            assert min(abs(node - f) for f in free) <= d
+        for node in untouched:
+            assert min(abs(node - f) for f in free) > d
+        assert untouched, (
+            "every waiter was probed — the workload cannot show the "
+            "laggard saving"
+        )
