@@ -26,6 +26,12 @@ The moving parts:
   generator yielding :class:`Checkpoint` objects (phase label, valid
   partial solution, objective, rounds/bits consumed) at the
   algorithm's phase boundaries and returning the final report;
+* :func:`resume` / :func:`resume_iter` — the warm-start half of the
+  anytime protocol: continue a truncated run from the JSON-safe
+  ``resume_state`` its report/checkpoint carries (or from
+  ``solve(..., warm_start=report)``), with round/traffic accounting
+  continued — at a fixed seed the continuation is bit-for-bit the run
+  that was never cut;
 * :func:`solve_many` — the batch engine: fan an instance grid (×
   algorithms) across a process/thread pool with stable fingerprints,
   per-task failure isolation and a :class:`BatchReport` aggregate
@@ -48,8 +54,10 @@ from .batch import (
     instance_fingerprint,
     solve_many,
 )
-from .facade import solve, solve_iter
+from ..errors import NotResumable, ResumeError, ResumeMismatch
+from .facade import RESUME_VERSION, resume, resume_iter, solve, solve_iter
 from .instance import CONGEST, LOCAL, MODELS, Instance, random_instance
+from .serialize import from_jsonable, to_jsonable
 from .registry import (
     AlgorithmSpec,
     UnknownAlgorithm,
@@ -75,6 +83,10 @@ __all__ = [
     "Instance",
     "LOCAL",
     "MODELS",
+    "NotResumable",
+    "RESUME_VERSION",
+    "ResumeError",
+    "ResumeMismatch",
     "STATUSES",
     "SolveReport",
     "TRUNCATED",
@@ -83,13 +95,17 @@ __all__ = [
     "algorithm",
     "cli_names",
     "execute_indexed",
+    "from_jsonable",
     "get_algorithm",
     "instance_fingerprint",
     "list_algorithms",
     "random_instance",
     "register_algorithm",
     "registry_as_json",
+    "resume",
+    "resume_iter",
     "solve",
     "solve_iter",
     "solve_many",
+    "to_jsonable",
 ]

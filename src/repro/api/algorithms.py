@@ -23,15 +23,19 @@ from ..core import (
     bipartite_matching_1eps,
     bipartite_matching_1eps_phases,
     bipartite_proposal_matching,
+    bipartite_proposal_phases,
     congest_matching_1eps,
     congest_matching_1eps_stages,
     fast_matching_2eps,
     fast_matching_weighted_2eps,
     general_proposal_matching,
+    general_proposal_phases,
     improved_nearly_maximal_is,
     local_matching_1eps,
     local_matching_1eps_phases,
+    matching_lines_phases,
     matching_local_ratio,
+    maxis_coloring_phases,
     maxis_layers_phases,
     maxis_local_ratio_coloring,
     maxis_local_ratio_layers,
@@ -82,7 +86,69 @@ def _report(instance: Instance, solution, objective, rounds,
 # ----------------------------------------------------------------------
 # MaxIS (Algorithms 2 and 3) and the MIS baseline
 # ----------------------------------------------------------------------
-def _iter_maxis_layers(instance: Instance, trace=None):
+def _drive_simulator_phases(phases, network, phase_label: str,
+                            resume_state, solution_key: str,
+                            aux_key: str = "weight", initial_aux=0,
+                            objective_of=None, extras_of=None):
+    """Drive a simulator-backed ``(rounds, solution, aux, final,
+    state)`` phase generator into checkpoints; shared by the MaxIS,
+    line-graph and bipartite-proposal anytime runners.
+
+    ``aux`` is whatever the runner tracks next to the solution — the
+    weight for the weighted runners (and then it *is* the objective),
+    the unlucky-node set for the proposal matcher; ``objective_of(
+    solution, aux)`` / ``extras_of(aux)`` derive the checkpoint fields
+    from it, and ``aux_key`` names it inside the resume payload.
+
+    Opens the stream with the initial (or restored) state, forwards
+    per-phase snapshots as checkpoints with the raw resume state
+    attached, and returns ``(core_result, last_snapshot)`` where
+    ``core_result`` is ``None`` when the budget interrupted the
+    generator cooperatively.  ``network`` may be ``None`` when the
+    simulator lives inside the core generator (the line-graph runner):
+    per-phase bit accounting is then unavailable and reported as 0,
+    matching the historical report shape of those algorithms.
+    """
+
+    if objective_of is None:
+        def objective_of(solution, aux):
+            return aux
+    if extras_of is None:
+        def extras_of(aux):
+            return {}
+    if resume_state is None:
+        last = (0, frozenset(), initial_aux, False, None)
+        yield Checkpoint(phase="init", solution=frozenset(),
+                         objective=objective_of(frozenset(), initial_aux),
+                         rounds=0, extras=extras_of(initial_aux))
+    else:
+        restored = frozenset(resume_state[solution_key])
+        aux = resume_state[aux_key]
+        last = (resume_state["rounds"], restored, aux, False, resume_state)
+        yield Checkpoint(phase="resume", solution=restored,
+                         objective=objective_of(restored, aux),
+                         rounds=resume_state["rounds"],
+                         bits=(resume_state["sim"]["metrics"]["bits"]
+                               if network else 0),
+                         extras=extras_of(aux),
+                         resume_state=resume_state)
+    index = 1
+    while True:
+        try:
+            last = next(phases)
+        except StopIteration as stop:
+            return stop.value, last
+        rounds, solution, aux, final, state = last
+        yield Checkpoint(phase=f"{phase_label}-{index}", solution=solution,
+                         objective=objective_of(solution, aux),
+                         rounds=rounds,
+                         bits=network.metrics.bits if network else 0,
+                         final=final, extras=extras_of(aux),
+                         resume_state=state)
+        index += 1
+
+
+def _iter_maxis_layers(instance: Instance, trace=None, resume_state=None):
     """Anytime Algorithm 2: one checkpoint per selection phase.
 
     ``instance.max_rounds``, when set, *replaces* the Theorem 2.3
@@ -90,7 +156,10 @@ def _iter_maxis_layers(instance: Instance, trace=None):
     in both directions), and the run stops cooperatively at that cap —
     a truncated run never simulates a round past the budget.  The
     partial independent set is valid at every phase boundary (stack
-    discipline), so every checkpoint is adoptable.
+    discipline), so every checkpoint is adoptable.  On budgeted runs
+    the final checkpoint captures the full simulator state
+    (``resume_state``), and ``resume_state=`` warm-starts the protocol
+    from such a capture with accounting continued.
     """
 
     network = instance.network()
@@ -99,24 +168,14 @@ def _iter_maxis_layers(instance: Instance, trace=None):
     phases = maxis_layers_phases(
         instance.graph, seed=instance.seed, network=network,
         max_rounds=budget, trace=trace,
+        capture_state=instance.max_rounds is not None,
+        resume=resume_state,
     )
-    last = (0, frozenset(), 0, False)
-    yield Checkpoint(phase="init", solution=frozenset(), objective=0,
-                     rounds=0)
-    index = 1
-    while True:
-        try:
-            last = next(phases)
-        except StopIteration as stop:
-            result = stop.value
-            break
-        rounds, chosen, weight, final = last
-        yield Checkpoint(phase=f"selection-{index}", solution=chosen,
-                         objective=weight, rounds=rounds,
-                         bits=network.metrics.bits, final=final)
-        index += 1
+    result, last = yield from _drive_simulator_phases(
+        phases, network, "selection", resume_state, "chosen",
+    )
     if result is None:
-        rounds, chosen, weight, _final = last
+        rounds, chosen, weight, _final, _state = last
         return _report(instance, chosen, weight, rounds,
                        metrics=network.metrics, status=TRUNCATED,
                        trace=trace)
@@ -141,11 +200,48 @@ def _run_maxis_layers(instance: Instance, trace=None) -> SolveReport:
                    trace=trace)
 
 
+def _iter_maxis_coloring(instance: Instance, coloring=None,
+                         resume_state=None):
+    """Anytime Algorithm 3: one checkpoint per local-ratio sweep.
+
+    Checkpoint ``rounds`` follow the paper's accounting — the
+    O(Δ + log* n) coloring charge up front, then one round per sweep —
+    so ``instance.max_rounds`` budgets the same quantity the complete
+    report's ``rounds`` measures; a budget below the coloring charge
+    truncates at the (empty) initial state without simulating.  The
+    coloring is deterministic and recomputed on resume, never
+    serialized.
+    """
+
+    network = instance.network()
+    phases = maxis_coloring_phases(
+        instance.graph, network=network, coloring=coloring,
+        max_rounds=instance.max_rounds,
+        capture_state=instance.max_rounds is not None,
+        resume=resume_state,
+    )
+    result, last = yield from _drive_simulator_phases(
+        phases, network, "sweep", resume_state, "chosen",
+    )
+    if result is None:
+        rounds, chosen, weight, _final, _state = last
+        return _report(instance, chosen, weight, rounds,
+                       metrics=network.metrics, status=TRUNCATED)
+    return _report(instance, result.independent_set,
+                   result.weight, result.accounted_rounds,
+                   metrics=network.metrics,
+                   local_ratio_rounds=result.local_ratio_rounds,
+                   accounted_rounds=result.accounted_rounds,
+                   measured_rounds=result.measured_rounds,
+                   coloring=result.coloring)
+
+
 @algorithm(name="maxis-coloring", problem="maxis", cli="coloring",
            paper="Algorithm 3",
            guarantee="Δ-approx MWIS, O(Δ + log* n), deterministic",
            bound=lambda inst: float(max(1, inst.delta)),
-           weighted=True, deterministic=True, tags=("paper",))
+           weighted=True, deterministic=True, tags=("paper",),
+           run_iter=_iter_maxis_coloring)
 def _run_maxis_coloring(instance: Instance, coloring=None) -> SolveReport:
     network = instance.network()
     result = maxis_local_ratio_coloring(
@@ -176,10 +272,39 @@ def _run_mis_luby(instance: Instance) -> SolveReport:
 # ----------------------------------------------------------------------
 # 2-approximate weighted matchings (Theorem 2.10 / footnote 5)
 # ----------------------------------------------------------------------
+def _iter_matching_lines(instance: Instance, method: str = "layers",
+                         audit=None, resume_state=None):
+    """Anytime Theorem 2.10: one checkpoint per MaxIS selection phase
+    on the line graph.  The line graph is rebuilt deterministically on
+    resume; the payload pins which MaxIS engine (``method``) produced
+    it, and that engine wins over the ``method`` default when resuming.
+    """
+
+    if resume_state is not None:
+        method = resume_state["method"]
+    lines = matching_lines_phases(
+        instance.graph, method=method, seed=instance.seed, audit=audit,
+        max_rounds=instance.max_rounds,
+        capture_state=instance.max_rounds is not None,
+        resume=resume_state,
+    )
+    result, last = yield from _drive_simulator_phases(
+        lines, None, "selection", resume_state, "matching",
+    )
+    if result is None:
+        rounds, matching, weight, _final, _state = last
+        return _report(instance, matching, weight, rounds,
+                       status=TRUNCATED, audit=audit, method=method)
+    return _report(instance, result.matching,
+                   result.weight, result.rounds, audit=result.audit,
+                   method=method)
+
+
 @algorithm(name="matching-lines", problem="matching", cli="lines",
            paper="Theorem 2.10",
            guarantee="2-approx MWM via MaxIS on L(G)",
-           bound=lambda inst: 2.0, weighted=True, tags=("paper",))
+           bound=lambda inst: 2.0, weighted=True, tags=("paper",),
+           run_iter=_iter_matching_lines)
 def _run_matching_lines(instance: Instance, method: str = "layers",
                         audit=None) -> SolveReport:
     result = matching_local_ratio(instance.graph, method=method,
@@ -241,30 +366,32 @@ def _run_fast2eps_weighted(instance: Instance, beta_bucket=None
 # (1+ε) matchings (Appendix B.3 / Theorems B.4, B.12)
 # ----------------------------------------------------------------------
 def _checkpoint_matching_phases(phases, label: str):
-    """Drive a core ``(rounds, matching, extras)`` phase generator into
-    checkpoints; shared by the three (1+ε) anytime runners.
+    """Drive a core ``(rounds, matching, extras, state)`` phase
+    generator into checkpoints; shared by the three (1+ε) anytime
+    runners.  The raw resume state rides along on each checkpoint
+    (the facade wraps it into the persistable envelope).
 
     Returns ``(core_result, last_snapshot)`` where ``core_result`` is
     ``None`` when the budget interrupted the generator cooperatively.
     """
 
-    last = (0, frozenset(), {})
+    last = (0, frozenset(), {}, None)
     index = 0
     while True:
         try:
             last = next(phases)
         except StopIteration as stop:
             return stop.value, last
-        rounds, matching, extras = last
+        rounds, matching, extras, state = last
         yield Checkpoint(phase=f"{label}-{index}", solution=matching,
                          objective=len(matching), rounds=rounds,
-                         extras=extras)
+                         extras=extras, resume_state=state)
         index += 1
 
 
 def _iter_oneeps_local(instance: Instance, k: float = 2.0,
                        failure_delta=None, path_cap: int = 200_000,
-                       initial_matching=None):
+                       initial_matching=None, resume_state=None):
     """Anytime Theorem B.4: one checkpoint per Hopcroft–Karp phase;
     stops cooperatively before any phase past ``max_rounds``."""
 
@@ -273,10 +400,12 @@ def _iter_oneeps_local(instance: Instance, k: float = 2.0,
         failure_delta=failure_delta, path_cap=path_cap,
         initial_matching=initial_matching,
         max_rounds=instance.max_rounds,
+        capture_state=instance.max_rounds is not None,
+        resume=resume_state,
     )
     result, last = yield from _checkpoint_matching_phases(phases, "hk-phase")
     if result is None:
-        rounds, matching, extras = last
+        rounds, matching, extras, _state = last
         return _report(instance, matching, len(matching), rounds,
                        status=TRUNCATED, **extras)
     return _report(instance, result.matching,
@@ -306,7 +435,7 @@ def _run_oneeps_local(instance: Instance, k: float = 2.0,
 
 def _iter_oneeps_congest(instance: Instance, k: float = 2.0,
                          failure_delta=None, stages=None,
-                         max_iterations=None):
+                         max_iterations=None, resume_state=None):
     """Anytime Theorem B.12: one checkpoint per bipartition stage;
     stops cooperatively before any stage past ``max_rounds``."""
 
@@ -314,10 +443,12 @@ def _iter_oneeps_congest(instance: Instance, k: float = 2.0,
         instance.graph, eps=instance.eps, seed=instance.seed, k=k,
         failure_delta=failure_delta, stages=stages,
         max_iterations=max_iterations, max_rounds=instance.max_rounds,
+        capture_state=instance.max_rounds is not None,
+        resume=resume_state,
     )
     result, last = yield from _checkpoint_matching_phases(phases, "stage")
     if result is None:
-        rounds, matching, extras = last
+        rounds, matching, extras, _state = last
         return _report(instance, matching, len(matching), rounds,
                        status=TRUNCATED, **extras)
     return _report(instance, result.matching,
@@ -346,7 +477,7 @@ def _run_oneeps_congest(instance: Instance, k: float = 2.0,
 
 def _iter_oneeps_bipartite(instance: Instance, k: float = 2.0,
                            failure_delta=None, initial_matching=None,
-                           max_iterations=None):
+                           max_iterations=None, resume_state=None):
     """Anytime Appendix B.3 (bipartite): one checkpoint per length-d
     phase; stops cooperatively before any phase past ``max_rounds``."""
 
@@ -357,10 +488,12 @@ def _iter_oneeps_bipartite(instance: Instance, k: float = 2.0,
         k=k, failure_delta=failure_delta,
         initial_matching=initial_matching, ledger=ledger,
         max_iterations=max_iterations, max_rounds=instance.max_rounds,
+        capture_state=instance.max_rounds is not None,
+        resume=resume_state,
     )
     result, last = yield from _checkpoint_matching_phases(phases, "length")
     if result is None:
-        rounds, matching, extras = last
+        rounds, matching, extras, _state = last
         return _report(instance, matching, len(matching), rounds,
                        status=TRUNCATED, **extras)
     matching, deactivated = result
@@ -394,11 +527,44 @@ def _run_oneeps_bipartite(instance: Instance, k: float = 2.0,
 # ----------------------------------------------------------------------
 # Proposal matchings (Appendix B.4)
 # ----------------------------------------------------------------------
+def _iter_proposal(instance: Instance, k=None, repetitions=None,
+                   resume_state=None):
+    """Anytime Lemma B.14: one checkpoint per bipartition repetition;
+    stops cooperatively before any repetition past ``max_rounds``."""
+
+    phases = general_proposal_phases(
+        instance.graph, eps=instance.eps, k=k, seed=instance.seed,
+        repetitions=repetitions, max_rounds=instance.max_rounds,
+        capture_state=instance.max_rounds is not None,
+        resume=resume_state,
+    )
+    last = (0, frozenset(), False, None)
+    index = 0
+    while True:
+        try:
+            last = next(phases)
+        except StopIteration as stop:
+            result = stop.value
+            break
+        rounds, matching, final, state = last
+        yield Checkpoint(phase=f"repetition-{index}", solution=matching,
+                         objective=len(matching), rounds=rounds,
+                         final=final, resume_state=state)
+        index += 1
+    if result is None:
+        rounds, matching, _final, _state = last
+        return _report(instance, matching, len(matching), rounds,
+                       status=TRUNCATED)
+    matching, rounds, ledger = result
+    return _report(instance, matching, len(matching),
+                   rounds, ledger=ledger)
+
+
 @algorithm(name="matching-proposal", problem="matching", cli="proposal",
            paper="Lemma B.14",
            guarantee="(2+ε)-approx MCM, proposal-based",
            bound=lambda inst: 2.0 + inst.eps, uses_eps=True,
-           tags=("paper",))
+           tags=("paper",), run_iter=_iter_proposal)
 def _run_proposal(instance: Instance, k=None, repetitions=None
                   ) -> SolveReport:
     matching, rounds, ledger = general_proposal_matching(
@@ -409,11 +575,45 @@ def _run_proposal(instance: Instance, k=None, repetitions=None
                    rounds, ledger=ledger)
 
 
+def _iter_proposal_bipartite(instance: Instance, k=None, phases=None,
+                             resume_state=None):
+    """Anytime Lemma B.13: one checkpoint per propose/respond phase
+    (two simulator rounds); the simulator stops cooperatively at the
+    budget.  The payload pins the derived K and phase count, so a
+    resumed run replays the identical deadline."""
+
+    left, right = bipartite_sides(instance.graph)
+    network = instance.network()
+    stream = bipartite_proposal_phases(
+        instance.graph, left, right, eps=instance.eps, k=k,
+        seed=instance.seed, network=network, phases=phases,
+        max_rounds=instance.max_rounds,
+        capture_state=instance.max_rounds is not None,
+        resume=resume_state,
+    )
+    result, last = yield from _drive_simulator_phases(
+        stream, network, "proposal", resume_state, "matching",
+        aux_key="unlucky", initial_aux=set(),
+        objective_of=lambda solution, aux: len(solution),
+        extras_of=lambda aux: {"unlucky": set(aux)},
+    )
+    if result is None:
+        rounds, matching, unlucky, _final, _state = last
+        return _report(instance, matching, len(matching), rounds,
+                       metrics=network.metrics, status=TRUNCATED,
+                       unlucky=set(unlucky))
+    return _report(instance, result.matching,
+                   len(result.matching), result.rounds,
+                   metrics=network.metrics, unlucky=result.unlucky,
+                   phases=result.phases)
+
+
 @algorithm(name="matching-proposal-bipartite", problem="matching",
            paper="Lemma B.13",
            guarantee="(2+ε)-approx MCM on bipartite instances",
            bound=lambda inst: 2.0 + inst.eps, uses_eps=True,
-           requires_bipartite=True, tags=("paper",))
+           requires_bipartite=True, tags=("paper",),
+           run_iter=_iter_proposal_bipartite)
 def _run_proposal_bipartite(instance: Instance, k=None, phases=None
                             ) -> SolveReport:
     left, right = bipartite_sides(instance.graph)

@@ -25,7 +25,7 @@ whole registry is interruptible through one protocol.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 #: The run finished inside its budgets (or had none): the algorithm's
 #: guarantee applies.
@@ -56,6 +56,16 @@ class Checkpoint:
     signal is always ``StopIteration``.  ``extras`` carries
     algorithm-specific state (deactivated nodes, stage counters, …)
     that a truncated report preserves.
+
+    ``resume_state``, when present, is a self-describing JSON-safe
+    warm-start payload (version, algorithm name, budget-agnostic
+    instance fingerprint, consumed rounds, and the algorithm's state
+    at this boundary): feed it — or the checkpoint carrying it — to
+    :func:`repro.api.resume` to continue the run as if it had never
+    stopped.  Runners attach state when the instance carries a round
+    budget (an unbudgeted run cannot be cut, so the common path pays
+    nothing extra); a stream's first checkpoint always carries at
+    least the fresh-start marker.
     """
 
     phase: str
@@ -66,6 +76,7 @@ class Checkpoint:
     valid: bool = True
     final: bool = False
     extras: Dict[str, Any] = field(default_factory=dict)
+    resume_state: Optional[Dict[str, Any]] = None
 
 
 __all__ = ["COMPLETE", "Checkpoint", "STATUSES", "TRUNCATED"]

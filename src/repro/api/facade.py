@@ -28,15 +28,22 @@ violations from metered to raised).
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Iterator, Optional, Union
+from typing import Any, Dict, Iterator, Optional, Union
 
 import networkx as nx
 
+from ..errors import NotResumable, ResumeMismatch
 from ..utils import drain
 from .anytime import COMPLETE, TRUNCATED, Checkpoint
+from .batch import instance_fingerprint
 from .instance import Instance
 from .registry import AlgorithmSpec, get_algorithm
 from .report import SolveReport
+from .serialize import from_jsonable, to_jsonable
+
+#: Version stamp of the resume payload layout; bumped on breaking
+#: changes so a stale persisted checkpoint fails loudly.
+RESUME_VERSION = 1
 
 
 def _coarse_phases(spec: AlgorithmSpec, instance: Instance, **options):
@@ -87,6 +94,18 @@ def _truncated_report(instance: Instance,
     )
 
 
+def _resume_fingerprint(instance: Instance) -> str:
+    """The budget-agnostic instance identity a resume payload pins.
+
+    ``max_rounds`` is deliberately excluded: the whole point of a warm
+    start is to continue the *same* instance under a different (or no)
+    budget, so the fingerprint covers everything else a solve depends
+    on (graph structure, weights, model, ε, seed, bandwidth).
+    """
+
+    return instance_fingerprint(replace(instance, max_rounds=None))
+
+
 def _finalize(spec: AlgorithmSpec, instance: Instance, model: str,
               report: SolveReport) -> SolveReport:
     """Stamp the registry identity and certify the (partial) solution."""
@@ -107,6 +126,7 @@ def solve_iter(
     instance: Union[Instance, nx.Graph],
     algorithm: str,
     problem: Optional[str] = None,
+    warm_start=None,
     **options,
 ) -> Iterator[Checkpoint]:
     """Run ``algorithm`` as a checkpoint stream (the anytime protocol).
@@ -130,8 +150,16 @@ def solve_iter(
     Lookup and model resolution happen eagerly — an unknown algorithm
     or unsupported model raises here, at the call site, not at the
     first ``next()``.
+
+    ``warm_start`` accepts a truncated :class:`SolveReport`, a
+    state-carrying :class:`Checkpoint`, or a persisted resume payload
+    dict, and delegates to :func:`resume_iter`: the stream then
+    continues the captured run instead of starting fresh.
     """
 
+    if warm_start is not None:
+        return resume_iter(warm_start, instance=instance,
+                           algorithm=algorithm, problem=problem, **options)
     if isinstance(instance, nx.Graph):
         instance = Instance(instance)
     spec: AlgorithmSpec = get_algorithm(algorithm, problem=problem)
@@ -142,21 +170,57 @@ def solve_iter(
 
 
 def _solve_stream(spec: AlgorithmSpec, instance: Instance, model: str,
+                  resume_state: Optional[Dict[str, Any]] = None,
                   **options) -> Iterator[Checkpoint]:
-    """The generator half of :func:`solve_iter` (spec already resolved)."""
+    """The generator half of :func:`solve_iter` (spec already resolved).
 
-    phases = (spec.run_iter(instance, **options)
-              if spec.run_iter is not None
-              else _coarse_phases(spec, instance, **options))
+    Checkpoints leave the runners with *raw* (live-object) resume
+    state attached; this driver wraps each into the self-describing
+    JSON-safe envelope (version, algorithm, instance fingerprint,
+    consumed rounds) so what consumers see — and what a truncated
+    report carries — is directly persistable.  A stream's first
+    checkpoint always gets at least the fresh-start marker, which is
+    how coarse algorithms stay (trivially) resumable.
+    """
+
+    if spec.run_iter is not None:
+        if resume_state is not None:
+            phases = spec.run_iter(instance, resume_state=resume_state,
+                                   **options)
+        else:
+            phases = spec.run_iter(instance, **options)
+    else:
+        phases = _coarse_phases(spec, instance, **options)
     budget = instance.max_rounds
+    fingerprint: Optional[str] = None
     best: Optional[Checkpoint] = None
+    last_payload: Optional[Dict[str, Any]] = None
     report: Optional[SolveReport] = None
+    first = True
     while True:
         try:
             checkpoint = next(phases)
         except StopIteration as stop:
             report = stop.value
             break
+        raw_state = checkpoint.resume_state
+        if raw_state is None and first:
+            raw_state = {"fresh": True}
+        first = False
+        if raw_state is not None:
+            if fingerprint is None:
+                fingerprint = _resume_fingerprint(instance)
+            payload = {
+                "version": RESUME_VERSION,
+                "algorithm": spec.name,
+                "fingerprint": fingerprint,
+                "phase": checkpoint.phase,
+                "rounds": checkpoint.rounds,
+                "state": to_jsonable(raw_state),
+            }
+            checkpoint = replace(checkpoint, resume_state=payload)
+        else:
+            payload = None
         if budget is not None and checkpoint.rounds > budget:
             # Inadmissible state: close the runner (cooperative stop)
             # and fall back to the best admitted checkpoint.
@@ -164,6 +228,8 @@ def _solve_stream(spec: AlgorithmSpec, instance: Instance, model: str,
             break
         if checkpoint.valid:
             best = checkpoint
+            if payload is not None:
+                last_payload = payload
         yield checkpoint
     if report is not None and budget is not None and report.rounds > budget:
         # A coarse run that finished over budget: keep only what the
@@ -171,6 +237,12 @@ def _solve_stream(spec: AlgorithmSpec, instance: Instance, model: str,
         report = None
     if report is None:
         report = _truncated_report(instance, best)
+    if report.status == TRUNCATED and report.resume_state is None:
+        # The warm-start payload of the most recent resumable state the
+        # budget admitted: resuming from it replays the identical
+        # stream, so the continuation matches the never-stopped run
+        # even when that state precedes the adopted solution.
+        report.resume_state = last_payload
     return _finalize(spec, instance, model, report)
 
 
@@ -178,6 +250,7 @@ def solve(
     instance: Union[Instance, nx.Graph],
     algorithm: str,
     problem: Optional[str] = None,
+    warm_start=None,
     **options,
 ) -> SolveReport:
     """Run ``algorithm`` on ``instance`` and return a :class:`SolveReport`.
@@ -199,9 +272,166 @@ def solve(
     ``status="truncated"`` and the best valid partial solution instead
     of raising.  The report's solution is validated (certified) before
     it is returned in either case.
+
+    ``warm_start`` continues a previously truncated run instead of
+    starting fresh: pass the truncated report (or a checkpoint /
+    persisted payload) and the returned report is — at a fixed seed —
+    bit-for-bit the report of the run that was never cut (see
+    :func:`resume`, which this delegates to).
     """
 
-    return drain(solve_iter(instance, algorithm, problem=problem, **options))
+    return drain(solve_iter(instance, algorithm, problem=problem,
+                            warm_start=warm_start, **options))
 
 
-__all__ = ["solve", "solve_iter"]
+def _resume_payload(source) -> Dict[str, Any]:
+    """Extract and validate the resume payload from a report /
+    checkpoint / dict, raising the typed errors the protocol pins."""
+
+    if isinstance(source, SolveReport):
+        if source.resume_state is None:
+            if source.status == COMPLETE:
+                raise NotResumable(
+                    'cannot resume a status="complete" report: the run '
+                    "already finished and there is nothing left to do"
+                )
+            raise NotResumable(
+                "this report carries no resume state (it predates the "
+                "resume protocol or its checkpoint was not capturable)"
+            )
+        payload = source.resume_state
+    elif isinstance(source, Checkpoint):
+        if source.resume_state is None:
+            raise NotResumable(
+                "this checkpoint carries no resume state: state is "
+                "captured on budgeted runs only, and simulator-backed "
+                "algorithms attach it to the final checkpoint of the "
+                "stream, not to interior ones — resume from the last "
+                "state-carrying checkpoint or from the truncated report"
+            )
+        payload = source.resume_state
+    elif isinstance(source, dict):
+        payload = source
+    else:
+        raise NotResumable(
+            f"cannot resume from a {type(source).__name__}; expected a "
+            "SolveReport, Checkpoint, or resume payload dict"
+        )
+    required = ("version", "algorithm", "fingerprint", "rounds", "state")
+    missing = [key for key in required if key not in payload]
+    if missing:
+        raise NotResumable(
+            f"malformed resume payload: missing {missing}"
+        )
+    if payload["version"] != RESUME_VERSION:
+        raise NotResumable(
+            f"resume payload version {payload['version']!r} is not "
+            f"supported (expected {RESUME_VERSION})"
+        )
+    return payload
+
+
+def resume_iter(
+    source,
+    instance: Optional[Union[Instance, nx.Graph]] = None,
+    algorithm: Optional[str] = None,
+    problem: Optional[str] = None,
+    **options,
+) -> Iterator[Checkpoint]:
+    """Checkpoint-stream form of :func:`resume` (same validation)."""
+
+    payload = _resume_payload(source)
+    if instance is None and isinstance(source, SolveReport):
+        instance = source.instance
+    if instance is None:
+        raise NotResumable(
+            "resume needs the Instance: a bare checkpoint/payload does "
+            "not carry one (pass instance=...)"
+        )
+    if isinstance(instance, nx.Graph):
+        instance = Instance(instance)
+    name = algorithm if algorithm is not None else payload["algorithm"]
+    spec: AlgorithmSpec = get_algorithm(name, problem=problem)
+    if spec.name != payload["algorithm"]:
+        raise ResumeMismatch(
+            f"checkpoint belongs to algorithm {payload['algorithm']!r}; "
+            f"cannot warm-start {spec.name!r} from it"
+        )
+    model = spec.resolve_model(instance)
+    if instance.model != model:
+        instance = replace(instance, model=model)
+    fingerprint = _resume_fingerprint(instance)
+    if payload["fingerprint"] != fingerprint:
+        raise ResumeMismatch(
+            "instance fingerprint mismatch: the checkpoint was captured "
+            "on a different instance (graph structure/weights, model, "
+            "ε, seed or bandwidth differ)"
+        )
+    if (instance.max_rounds is not None
+            and instance.max_rounds < payload["rounds"]):
+        raise NotResumable(
+            f"round budget {instance.max_rounds} is below the "
+            f"checkpoint's already-consumed {payload['rounds']} rounds"
+        )
+    state = from_jsonable(payload["state"])
+    if isinstance(state, dict) and state.get("fresh"):
+        # The begin state (coarse adapters, and any stream's first
+        # checkpoint): nothing was executed yet, so a warm start is a
+        # deterministic fresh run under the new budget.
+        return _solve_stream(spec, instance, model, **options)
+    if spec.run_iter is None:
+        raise NotResumable(
+            f"algorithm {spec.name!r} has no phase runner: only its "
+            "fresh begin state can seed a re-run"
+        )
+    return _solve_stream(spec, instance, model, resume_state=state,
+                         **options)
+
+
+def resume(
+    source,
+    instance: Optional[Union[Instance, nx.Graph]] = None,
+    algorithm: Optional[str] = None,
+    problem: Optional[str] = None,
+    **options,
+) -> SolveReport:
+    """Continue a truncated run from its last checkpoint (warm start).
+
+    ``source`` is a truncated :class:`SolveReport` (whose
+    ``resume_state`` the anytime driver filled in), a state-carrying
+    :class:`Checkpoint` from :func:`solve_iter`, or the raw payload
+    dict — e.g. recovered via ``json.loads`` from disk.  ``instance``
+    defaults to the report's own instance; when resuming from a bare
+    checkpoint or payload it must be passed explicitly and is verified
+    against the payload's budget-agnostic fingerprint (a mismatched
+    graph/weights/model/ε/seed raises
+    :class:`~repro.errors.ResumeMismatch`; ``max_rounds`` may differ —
+    that is the point).  ``instance.max_rounds``, if set, remains a
+    *cumulative* budget: the continuation stops once total consumed
+    rounds reach it (and may truncate again, yielding a new resumable
+    report — multi-hop resume).
+
+    The contract, pinned registry-wide by ``tests/api/test_resume.py``:
+    **resume ≡ never-stopped**.  For every phase-structured algorithm,
+    truncating at any budget and resuming with the remaining budget
+    reproduces the unbounded run bit-for-bit — same solution, same
+    round count, same ledger breakdown — because checkpoints capture
+    the exact algorithm state (partial solution, per-node program
+    state, RNG streams, in-flight messages, ledger/metric counters) at
+    a phase boundary.  Round and traffic accounting *continue* across
+    the hop rather than reset.  Algorithm options the original run
+    resolved (a matcher's ``k``/``failure_delta``/``stages``, the
+    line-graph engine's ``method``, …) are pinned inside the payload
+    and win over omitted or re-passed ``**options``, so a forgotten
+    keyword cannot silently splice two different parameterizations.
+    Resuming a complete report raises
+    :class:`~repro.errors.NotResumable`.
+    """
+
+    return drain(resume_iter(source, instance=instance,
+                             algorithm=algorithm, problem=problem,
+                             **options))
+
+
+__all__ = ["RESUME_VERSION", "resume", "resume_iter", "solve",
+           "solve_iter"]

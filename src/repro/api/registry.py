@@ -49,6 +49,16 @@ class AlgorithmSpec:
     round budget interrupted it cooperatively).  Algorithms without
     one ride the coarse begin/end adapter in :mod:`repro.api.facade`,
     so every registry entry is interruptible either way.
+
+    ``run_iter`` also defines the algorithm's *resume* capability: a
+    phase-structured runner must accept ``resume_state=`` and continue
+    a truncated run bit-for-bit from a captured checkpoint (the
+    registry-wide contract test in ``tests/api/test_resume.py`` fails
+    any ``run_iter`` entry whose resume path does not reproduce the
+    uncut run) — :attr:`anytime` reports ``"phases"`` for these.
+    Coarse entries report ``"coarse"``: they are still resumable via
+    :func:`repro.api.resume`, but only from the fresh begin state
+    (a warm start is a deterministic re-run from scratch).
     """
 
     name: str
@@ -65,6 +75,14 @@ class AlgorithmSpec:
     requires_bipartite: bool = False
     models: Tuple[str, ...] = (CONGEST, LOCAL)
     tags: Tuple[str, ...] = ()
+
+    @property
+    def anytime(self) -> str:
+        """``"phases"`` for real per-phase checkpointing (and per-phase
+        resume), ``"coarse"`` for the begin/end adapter (interruptible,
+        restart-only resume)."""
+
+        return "phases" if self.run_iter is not None else "coarse"
 
     def resolve_model(self, instance: Instance) -> str:
         """The model this run executes in (instance override or native)."""
@@ -95,7 +113,12 @@ class AlgorithmSpec:
             "tags": list(self.tags),
             # anytime capability: "phases" = real per-phase checkpoints,
             # "coarse" = begin/end adapter (still interruptible).
-            "anytime": "phases" if self.run_iter is not None else "coarse",
+            "anytime": self.anytime,
+            # resume capability mirrors it: "phases" = warm-start from
+            # any captured checkpoint (bit-for-bit continuation),
+            # "coarse" = resumable only as a deterministic re-run from
+            # the fresh begin state.
+            "resume": self.anytime,
         }
 
 

@@ -50,6 +50,16 @@ class SolveReport:
     best *valid partial* solution within the budget (still certified),
     and ``bound`` is ``None`` because the guarantee only holds for
     completed runs.
+
+    A truncated report additionally carries ``resume_state``: the
+    JSON-safe warm-start payload of the last resumable checkpoint the
+    budget admitted.  Hand the report (or the payload itself, e.g.
+    after persisting it through ``json.dumps``/``loads``) to
+    :func:`repro.api.resume` — or ``solve(..., warm_start=report)`` —
+    to continue the run from that boundary instead of re-solving from
+    scratch; at a fixed seed the continuation is bit-for-bit the run
+    that was never cut.  Complete reports carry ``None`` (there is
+    nothing left to run).
     """
 
     algorithm: str
@@ -65,6 +75,8 @@ class SolveReport:
     ledger: Optional[RoundLedger] = None
     metrics: Optional[NetworkMetrics] = None
     extras: Dict[str, Any] = field(default_factory=dict)
+    resume_state: Optional[Dict[str, Any]] = field(default=None,
+                                                   repr=False)
     #: Per-report memo of the exact optimum (and the derived
     #: comparison): ``compare()`` called twice on the same report must
     #: not re-fingerprint the graph, let alone re-run the exponential

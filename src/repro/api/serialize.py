@@ -1,0 +1,84 @@
+"""JSON-safe encoding for checkpoint resume state.
+
+Resume payloads carry live algorithm state — node identifiers (ints,
+strings, tuples, frozensets), message payload tuples, set-valued
+partial solutions, RNG states — and must survive a ``json.dumps`` /
+``json.loads`` round trip bit-for-bit so a truncated run can be
+persisted and warm-started later (the serialization round-trip tests
+in ``tests/api/test_resume.py`` pin exactly that).
+
+JSON has no tuples, no sets and only string dict keys, so the codec
+tags what JSON cannot express:
+
+* tuples     → ``{"__tuple__": [...]}``
+* sets       → ``{"__set__": [...]}`` (sorted by ``repr`` so the
+  encoding of a given set is deterministic)
+* frozensets → ``{"__frozenset__": [...]}``
+* dicts with non-string keys (or keys colliding with a tag) →
+  ``{"__dict__": [[key, value], ...]}`` in insertion order
+
+Everything else must already be JSON-native (``None``, bools, ints,
+floats, strings, lists, string-keyed dicts); an unsupported type
+raises ``TypeError`` at encode time rather than producing a payload
+that cannot be restored.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+_TUPLE = "__tuple__"
+_SET = "__set__"
+_FROZENSET = "__frozenset__"
+_DICT = "__dict__"
+_TAGS = (_TUPLE, _SET, _FROZENSET, _DICT)
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Encode ``obj`` into a structure ``json.dumps`` accepts verbatim."""
+
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, tuple):
+        return {_TUPLE: [to_jsonable(x) for x in obj]}
+    if isinstance(obj, list):
+        return [to_jsonable(x) for x in obj]
+    if isinstance(obj, frozenset):
+        return {_FROZENSET: [to_jsonable(x)
+                             for x in sorted(obj, key=repr)]}
+    if isinstance(obj, set):
+        return {_SET: [to_jsonable(x) for x in sorted(obj, key=repr)]}
+    if isinstance(obj, dict):
+        if all(isinstance(k, str) for k in obj) and not any(
+            tag in obj for tag in _TAGS
+        ):
+            return {k: to_jsonable(v) for k, v in obj.items()}
+        return {_DICT: [[to_jsonable(k), to_jsonable(v)]
+                        for k, v in obj.items()]}
+    raise TypeError(
+        f"cannot encode {type(obj).__name__!r} into a resume payload"
+    )
+
+
+def from_jsonable(obj: Any) -> Any:
+    """Invert :func:`to_jsonable` (idempotent on JSON-native input)."""
+
+    if isinstance(obj, list):
+        return [from_jsonable(x) for x in obj]
+    if isinstance(obj, dict):
+        if len(obj) == 1:
+            tag, value = next(iter(obj.items()))
+            if tag == _TUPLE:
+                return tuple(from_jsonable(x) for x in value)
+            if tag == _SET:
+                return {from_jsonable(x) for x in value}
+            if tag == _FROZENSET:
+                return frozenset(from_jsonable(x) for x in value)
+            if tag == _DICT:
+                return {from_jsonable(k): from_jsonable(v)
+                        for k, v in value}
+        return {k: from_jsonable(v) for k, v in obj.items()}
+    return obj
+
+
+__all__ = ["from_jsonable", "to_jsonable"]

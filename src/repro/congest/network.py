@@ -91,6 +91,13 @@ class StepSnapshot:
     all ``n`` outputs at every checkpoint.  The last snapshot of a run
     has ``final=True`` (it is emitted even when the round count does
     not align with ``checkpoint_every``).
+
+    ``state`` is the full execution state at this boundary — only on
+    the final snapshot of a run started with ``capture_state=True``
+    (the resume protocol needs exactly the point where a budget cut
+    the run; capturing every boundary would tax the common path).
+    Feed it back through ``run_stepwise(..., resume_state=...)`` to
+    continue the run as if it had never stopped.
     """
 
     rounds: int
@@ -98,6 +105,7 @@ class StepSnapshot:
     total: int
     newly_halted: tuple
     final: bool = False
+    state: Optional[dict] = None
 
 
 @dataclass
@@ -247,6 +255,8 @@ class SynchronousNetwork:
         quiescence_halts: bool = False,
         stop_on_limit: bool = False,
         checkpoint_every: Optional[int] = None,
+        capture_state: bool = False,
+        resume_state: Optional[dict] = None,
     ):
         """Generator form of :meth:`run` for anytime consumers.
 
@@ -258,6 +268,28 @@ class SynchronousNetwork:
         default path pays no snapshot bookkeeping.  Closing the
         generator early abandons the run without charging further
         rounds.
+
+        Checkpoint/resume (the warm-start protocol):
+
+        * ``capture_state=True`` attaches the full execution state to
+          the run's *final* snapshot — next round index, undelivered
+          in-flight messages, halted nodes with their outputs, and per
+          live node the program's dynamic state
+          (:meth:`~repro.congest.node.NodeProgram.export_state`), RNG
+          state and sleep flag, plus the cumulative metric counters.
+        * ``resume_state=<that dict>`` restores it: programs are built
+          by the factory but ``restore_state`` replaces ``on_start``
+          (no side effects re-run), round numbering and the snapshot
+          cadence continue from the captured boundary, in-flight mail
+          is re-delivered, and metric accounting *continues* — the
+          captured counters are merged into ``self.metrics`` and only
+          the continuation's rounds are charged — so a truncated run
+          resumed here is bit-for-bit the run that never stopped.
+          ``max_rounds`` stays a cap on the *cumulative* round count.
+          The one deliberate exception is ``payload_cache``: those
+          hit/miss/eviction diagnostics describe *this process's*
+          memo cache (cold after a resume), so they are neither
+          captured nor merged.
         """
 
         if checkpoint_every is not None and checkpoint_every < 1:
@@ -309,16 +341,55 @@ class SynchronousNetwork:
         #: Runnable programs in execution (participant) order, as
         #: (position, ctx, program) so late wake-ups re-merge in order.
         runnable: List[tuple] = []
-        for pos, (ctx, program) in enumerate(pairs):
-            program.on_start(ctx)
-            if ctx._outbox:
-                self._collect(ctx, in_flight)
-            if ctx._halted:
-                halted_count += 1
-                if tracking:
-                    fresh.append((ctx.node, ctx.output))
-            elif not ctx._sleeping:
-                runnable.append((pos, ctx, program))
+        start_round = 0
+        if resume_state is None:
+            for pos, (ctx, program) in enumerate(pairs):
+                program.on_start(ctx)
+                if ctx._outbox:
+                    self._collect(ctx, in_flight)
+                if ctx._halted:
+                    halted_count += 1
+                    if tracking:
+                        fresh.append((ctx.node, ctx.output))
+                elif not ctx._sleeping:
+                    runnable.append((pos, ctx, program))
+        else:
+            start_round = resume_state["round"]
+            halted_outputs = resume_state["halted"]
+            live_states = resume_state["live"]
+            for pos, (ctx, program) in enumerate(pairs):
+                if ctx.node in halted_outputs:
+                    ctx._halted = True
+                    ctx.output = halted_outputs[ctx.node]
+                    halted_count += 1
+                    continue
+                state = live_states.get(ctx.node)
+                if state is None:
+                    raise SimulationError(
+                        f"resume state knows nothing about node {ctx.node!r}"
+                    )
+                version, internals, gauss = state["rng"]
+                ctx.rng.setstate((version, tuple(internals), gauss))
+                program.restore_state(state["program"])
+                if state["sleeping"]:
+                    ctx._sleeping = True
+                else:
+                    runnable.append((pos, ctx, program))
+            in_flight = [tuple(message)
+                         for message in resume_state["in_flight"]]
+            counters = resume_state["metrics"]
+            metrics.messages += counters["messages"]
+            metrics.bits += counters["bits"]
+            metrics.violations += counters["violations"]
+            metrics.max_bits_per_edge_round = max(
+                metrics.max_bits_per_edge_round,
+                counters["max_bits_per_edge_round"],
+            )
+            metrics.rounds += counters["rounds"]
+            for phase_label, charged in counters["round_breakdown"].items():
+                metrics.round_breakdown[phase_label] = (
+                    metrics.round_breakdown.get(phase_label, 0) + charged
+                )
         #: Sleeping, non-halted programs awaiting mail.
         parked: Dict[int, tuple] = {
             id(ctx): (pos, ctx, program)
@@ -327,9 +398,9 @@ class SynchronousNetwork:
         }
 
         total = len(pairs)
-        rounds_used = 0
+        rounds_used = start_round
         touched: List[NodeContext] = []  # inboxes holding last round's mail
-        for round_index in range(max_rounds):
+        for round_index in range(start_round, max_rounds):
             if halted_count == total:
                 break
             if not runnable and not in_flight:
@@ -407,7 +478,7 @@ class SynchronousNetwork:
                 raise RoundLimitExceeded(max_rounds, pending)
 
         outputs = {node: contexts[node].output for node in nodes}
-        metrics.charge_rounds(rounds_used, label)
+        metrics.charge_rounds(rounds_used - start_round, label)
         cache_delta = {
             key: value
             for key, value in (
@@ -429,9 +500,38 @@ class SynchronousNetwork:
             payload_cache=cache_delta,
         )
         if tracking:
+            state = None
+            if capture_state:
+                halted_outputs: Dict[Hashable, object] = {}
+                live: Dict[Hashable, dict] = {}
+                for ctx, program in pairs:
+                    if ctx._halted:
+                        halted_outputs[ctx.node] = ctx.output
+                        continue
+                    version, internals, gauss = ctx.rng.getstate()
+                    live[ctx.node] = {
+                        "sleeping": ctx._sleeping,
+                        "rng": [version, list(internals), gauss],
+                        "program": program.export_state(),
+                    }
+                state = {
+                    "round": rounds_used,
+                    "in_flight": [list(message) for message in in_flight],
+                    "halted": halted_outputs,
+                    "live": live,
+                    "metrics": {
+                        "rounds": metrics.rounds,
+                        "messages": metrics.messages,
+                        "bits": metrics.bits,
+                        "max_bits_per_edge_round":
+                            metrics.max_bits_per_edge_round,
+                        "violations": metrics.violations,
+                        "round_breakdown": dict(metrics.round_breakdown),
+                    },
+                }
             yield StepSnapshot(rounds=rounds_used, halted=halted_count,
                                total=total, newly_halted=tuple(fresh),
-                               final=True)
+                               final=True, state=state)
         return RunResult(outputs=outputs, rounds=rounds_used,
                          metrics=run_metrics,
                          completed=halted_count == total)

@@ -113,6 +113,37 @@ class NodeProgram(abc.ABC):
     def on_round(self, ctx: NodeContext) -> None:
         """Hook executed once per round with ``ctx.inbox`` populated."""
 
+    # -- checkpoint support (the resume protocol) ----------------------
+    def export_state(self) -> dict:
+        """The program's *dynamic* state at a round boundary.
+
+        Programs that support mid-run checkpointing return a dict of
+        everything :meth:`on_start` / :meth:`on_round` mutate (static
+        configuration is re-derived by the program factory at resume
+        time).  The dict must round-trip through
+        :mod:`repro.api.serialize` — primitives, tuples, sets and
+        node-keyed dicts only.  The default refuses, so asking the
+        simulator to capture state for a program without checkpoint
+        support fails loudly instead of silently dropping state.
+        """
+
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support checkpoint capture"
+        )
+
+    def restore_state(self, state: dict) -> None:
+        """Restore what :meth:`export_state` captured.
+
+        Called *instead of* :meth:`on_start` when a run is resumed, on
+        a freshly constructed program: it must leave the program
+        exactly as it was at the captured round boundary (no messages
+        are sent — in-flight mail is restored by the simulator).
+        """
+
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support checkpoint restore"
+        )
+
 
 class IdleProgram(NodeProgram):
     """A program that halts immediately; useful as a placeholder."""

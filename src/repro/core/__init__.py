@@ -79,10 +79,15 @@ from .local_ratio import (
     sequential_local_ratio_iter,
     split_weights,
 )
-from .matching_via_lines import MatchingResult, matching_local_ratio
+from .matching_via_lines import (
+    MatchingResult,
+    matching_lines_phases,
+    matching_local_ratio,
+)
 from .maxis_coloring import (
     MaxISColoringProgram,
     MaxISColoringResult,
+    maxis_coloring_phases,
     maxis_local_ratio_coloring,
 )
 from .maxis_layers import (
@@ -102,7 +107,9 @@ from .nearly_maximal_is import (
 from .proposal_matching import (
     ProposalResult,
     bipartite_proposal_matching,
+    bipartite_proposal_phases,
     general_proposal_matching,
+    general_proposal_phases,
     lemma_b13_rounds,
     optimal_k,
 )
@@ -132,10 +139,12 @@ __all__ = [
     "SUM",
     "SimulationCost",
     "WaitingPhaseProgram",
+    "WeightGroupResult",
     "augment_with_disjoint_paths",
     "bipartite_matching_1eps",
     "bipartite_matching_1eps_phases",
     "bipartite_proposal_matching",
+    "bipartite_proposal_phases",
     "bucketed_constant_approx_mwm",
     "build_conflict_graph",
     "canonical_path",
@@ -148,6 +157,7 @@ __all__ = [
     "flip_augmenting_path",
     "fold_over_hosted_neighbors",
     "general_proposal_matching",
+    "general_proposal_phases",
     "good_round_cap",
     "improved_nearly_maximal_is",
     "lemma_b11_budget",
@@ -156,7 +166,9 @@ __all__ = [
     "local_matching_1eps",
     "local_matching_1eps_phases",
     "local_ratio_bound",
+    "matching_lines_phases",
     "matching_local_ratio",
+    "maxis_coloring_phases",
     "maxis_layers_phases",
     "maxis_local_ratio_coloring",
     "maxis_local_ratio_layers",
@@ -171,13 +183,12 @@ __all__ = [
     "sequential_local_ratio",
     "sequential_local_ratio_iter",
     "shortest_augmenting_path_length",
-    "waiting_phase_wave",
     "split_weights",
     "theorem_2_8_simulation_cost",
     "theorem_3_1_budget",
     "theorem_b4_round_budget",
     "verify_aggregate",
     "verify_hk_phase",
-    "WeightGroupResult",
+    "waiting_phase_wave",
     "weight_group_matching",
 ]

@@ -409,14 +409,22 @@ def bipartite_matching_1eps_phases(
     ledger: Optional[RoundLedger] = None,
     max_iterations: Optional[int] = None,
     max_rounds: Optional[int] = None,
+    capture_state: bool = False,
+    resume: Optional[dict] = None,
 ):
     """Anytime form of :func:`bipartite_matching_1eps`.
 
-    Yields ``(rounds, matching, extras)`` after the initial state and
-    after every length-d phase; the matching is valid at every phase
-    boundary.  With ``max_rounds`` set, stops before launching a phase
-    once ``ledger.total`` has reached the budget and returns ``None``;
-    otherwise returns the final ``(matching, deactivated)`` pair.
+    Yields ``(rounds, matching, extras, state)`` after the initial
+    state and after every length-d phase; the matching is valid at
+    every phase boundary.  With ``max_rounds`` set, stops before
+    launching a phase once ``ledger.total`` has reached the budget and
+    returns ``None``; otherwise returns the final
+    ``(matching, deactivated)`` pair.
+
+    ``capture_state=True`` attaches a resume payload to every
+    snapshot; ``resume=`` restarts the phase loop there (phase
+    randomness is keyed ``seed + 101·d``, so the continuation replays
+    the uncut run's exact stream).
     """
 
     if failure_delta is None:
@@ -426,8 +434,39 @@ def bipartite_matching_1eps_phases(
     matching = set(initial_matching or set())
     deactivated: Set[Hashable] = set()
     max_length = 2 * math.ceil(1.0 / eps) + 1
-    yield ledger.total, frozenset(matching), {"deactivated": set(deactivated)}
-    for d in range(1, max_length + 1, 2):
+    start_d = 1
+    if resume is not None:
+        start_d = resume["next_d"]
+        matching = set(resume["matching"])
+        deactivated = set(resume["deactivated"])
+        ledger.total = resume["ledger"]["total"]
+        ledger.breakdown = dict(resume["ledger"]["breakdown"])
+        # The payload pins the resolved options so the continuation
+        # replays the identical phase parameters even when the caller
+        # omits them on resume.
+        k = resume["options"]["k"]
+        failure_delta = resume["options"]["failure_delta"]
+        max_iterations = resume["options"]["max_iterations"]
+
+    def snapshot(next_d):
+        state = None
+        if capture_state:
+            state = {
+                "rounds": ledger.total,
+                "next_d": next_d,
+                "matching": set(matching),
+                "deactivated": set(deactivated),
+                "ledger": {"total": ledger.total,
+                           "breakdown": dict(ledger.breakdown)},
+                "options": {"k": k, "failure_delta": failure_delta,
+                            "max_iterations": max_iterations},
+            }
+        return ledger.total, frozenset(matching), {
+            "deactivated": set(deactivated),
+        }, state
+
+    yield snapshot(start_d)
+    for d in range(start_d, max_length + 1, 2):
         if max_rounds is not None and ledger.total >= max_rounds:
             return None
         phase = BipartiteAugmentingPhase(
@@ -439,9 +478,7 @@ def bipartite_matching_1eps_phases(
         matching = phase.matching
         deactivated |= outcome.deactivated
         check_matching(graph, [tuple(e) for e in matching])
-        yield ledger.total, frozenset(matching), {
-            "deactivated": set(deactivated),
-        }
+        yield snapshot(d + 2)
     return matching, deactivated
 
 
@@ -477,20 +514,27 @@ def congest_matching_1eps_stages(
     stages: Optional[int] = None,
     max_iterations: Optional[int] = None,
     max_rounds: Optional[int] = None,
+    capture_state: bool = False,
+    resume: Optional[dict] = None,
 ):
     """Anytime Theorem B.12: one snapshot per bipartition stage.
 
     Generator form of :func:`congest_matching_1eps`: yields
-    ``(rounds, matching, extras)`` after the initial state and after
-    every red/blue stage (the matching is vertex-disjoint at every
-    stage boundary, so each snapshot is a valid partial solution).
-    With ``max_rounds`` set, the generator stops *before* launching a
-    stage once the ledger has consumed the budget — cooperatively, so
-    truncation costs nothing beyond the rounds actually accounted —
-    and returns ``None``; otherwise it returns the usual
-    :class:`CongestOneEpsResult`.  Draining the generator with
-    ``max_rounds=None`` reproduces :func:`congest_matching_1eps` bit
-    for bit.
+    ``(rounds, matching, extras, state)`` after the initial state and
+    after every red/blue stage (the matching is vertex-disjoint at
+    every stage boundary, so each snapshot is a valid partial
+    solution).  With ``max_rounds`` set, the generator stops *before*
+    launching a stage once the ledger has consumed the budget —
+    cooperatively, so truncation costs nothing beyond the rounds
+    actually accounted — and returns ``None``; otherwise it returns
+    the usual :class:`CongestOneEpsResult`.  Draining the generator
+    with ``max_rounds=None`` reproduces :func:`congest_matching_1eps`
+    bit for bit.
+
+    ``capture_state=True`` attaches a resume payload to every
+    snapshot, including the stage-coloring RNG state; ``resume=``
+    restores it, so the continuation draws the exact red/blue colors
+    the uncut run would have drawn.
     """
 
     if eps <= 0:
@@ -505,15 +549,53 @@ def congest_matching_1eps_stages(
     deactivated: Set[Hashable] = set()
     max_length = 2 * math.ceil(1.0 / eps) + 1
     executed = 0
+    start_stage = 0
+    finished = False
+    if resume is not None:
+        start_stage = resume["next_stage"]
+        executed = resume["stages"]
+        finished = resume["finished"]
+        matching = set(resume["matching"])
+        deactivated = set(resume["deactivated"])
+        ledger.total = resume["ledger"]["total"]
+        ledger.breakdown = dict(resume["ledger"]["breakdown"])
+        version, internals, gauss = resume["rng"]
+        rng.setstate((version, tuple(internals), gauss))
+        # The payload pins the resolved options (most importantly the
+        # total stage count) so the continuation replays the identical
+        # stage loop even when the caller omits them on resume.
+        k = resume["options"]["k"]
+        failure_delta = resume["options"]["failure_delta"]
+        stages = resume["options"]["stages"]
+        max_iterations = resume["options"]["max_iterations"]
 
-    def snapshot():
+    def snapshot(next_stage):
+        state = None
+        if capture_state:
+            version, internals, gauss = rng.getstate()
+            state = {
+                "rounds": ledger.total,
+                "next_stage": next_stage,
+                "stages": executed,
+                "finished": finished,
+                "matching": set(matching),
+                "deactivated": set(deactivated),
+                "ledger": {"total": ledger.total,
+                           "breakdown": dict(ledger.breakdown)},
+                "rng": [version, list(internals), gauss],
+                "options": {"k": k, "failure_delta": failure_delta,
+                            "stages": stages,
+                            "max_iterations": max_iterations},
+            }
         return ledger.total, frozenset(matching), {
             "deactivated": set(deactivated),
             "stages": executed,
-        }
+        }, state
 
-    yield snapshot()
-    for stage in range(stages):
+    yield snapshot(start_stage)
+    for stage in range(start_stage, stages):
+        if finished:
+            break
         if max_rounds is not None and ledger.total >= max_rounds:
             return None
         executed = stage + 1
@@ -557,17 +639,23 @@ def congest_matching_1eps_stages(
         matching = (matching - stage_matching) | new_stage_matching
         deactivated |= new_deactivated
         check_matching(graph, [tuple(e) for e in matching])
-        yield snapshot()
         if len(matching) == before:
             from .augmenting import shortest_augmenting_path_length
 
+            # Evaluated before the yield (it is deterministic, so the
+            # order is observationally identical) so the snapshot's
+            # resume payload already knows whether the stage loop is
+            # over — a resumed run must not launch stages the uncut
+            # run would never have run.
             remaining = shortest_augmenting_path_length(
                 graph, matching,
                 active=set(graph.nodes) - deactivated,
                 max_length=max_length,
             )
-            if remaining is None:
-                break
+            finished = remaining is None
+        yield snapshot(stage + 1)
+        if finished:
+            break
     return CongestOneEpsResult(
         matching=matching,
         deactivated=deactivated,

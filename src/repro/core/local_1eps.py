@@ -63,11 +63,13 @@ def local_matching_1eps_phases(
     path_cap: int = 200_000,
     initial_matching: Optional[Set[frozenset]] = None,
     max_rounds: Optional[int] = None,
+    capture_state: bool = False,
+    resume: Optional[dict] = None,
 ):
     """Anytime Theorem B.4: one snapshot per Hopcroft–Karp phase.
 
-    A generator yielding ``(rounds, matching, extras)`` triples — the
-    initial state and then one snapshot after every length-ℓ phase.
+    A generator yielding ``(rounds, matching, extras, state)`` tuples —
+    the initial state and then one snapshot after every length-ℓ phase.
     The matching is vertex-disjoint at every phase boundary, so each
     snapshot is a valid partial solution; ``extras`` carries the
     ``deactivated`` node set and ``truncated_phases`` so far.
@@ -79,6 +81,13 @@ def local_matching_1eps_phases(
     returns the usual :class:`OneEpsResult`.  Draining the generator
     with ``max_rounds=None`` reproduces :func:`local_matching_1eps`
     bit for bit.
+
+    With ``capture_state=True`` every snapshot's ``state`` is a resume
+    payload; feeding one back as ``resume=`` restarts the phase loop
+    at the captured boundary with the matching, deactivations and
+    ledger restored.  Phase randomness is keyed per phase length
+    (``seed + 31·ℓ``), so a resumed loop replays the exact random
+    stream the uncut run would have used — resume ≡ never-stopped.
     """
 
     if eps <= 0:
@@ -92,15 +101,43 @@ def local_matching_1eps_phases(
         check_matching(graph, [tuple(e) for e in matching])
     active: Set[Hashable] = set(graph.nodes)
     truncated: List[int] = []
+    start_length = 1
+    if resume is not None:
+        start_length = resume["next_length"]
+        matching = set(resume["matching"])
+        active -= set(resume["deactivated"])
+        truncated = list(resume["truncated_phases"])
+        ledger.total = resume["ledger"]["total"]
+        ledger.breakdown = dict(resume["ledger"]["breakdown"])
+        # The payload pins the options the original run resolved, so
+        # the continuation replays the identical phase parameters even
+        # when the caller omits them on resume.
+        k = resume["options"]["k"]
+        failure_delta = resume["options"]["failure_delta"]
+        path_cap = resume["options"]["path_cap"]
 
-    def snapshot():
+    def snapshot(next_length):
+        deactivated = set(graph.nodes) - active
+        state = None
+        if capture_state:
+            state = {
+                "rounds": ledger.total,
+                "next_length": next_length,
+                "matching": set(matching),
+                "deactivated": set(deactivated),
+                "truncated_phases": list(truncated),
+                "ledger": {"total": ledger.total,
+                           "breakdown": dict(ledger.breakdown)},
+                "options": {"k": k, "failure_delta": failure_delta,
+                            "path_cap": path_cap},
+            }
         return ledger.total, frozenset(matching), {
-            "deactivated": set(graph.nodes) - active,
+            "deactivated": deactivated,
             "truncated_phases": list(truncated),
-        }
+        }, state
 
-    yield snapshot()
-    for length in range(1, max_length + 1, 2):
+    yield snapshot(start_length)
+    for length in range(start_length, max_length + 1, 2):
         if max_rounds is not None and ledger.total >= max_rounds:
             return None
         paths = enumerate_augmenting_paths(
@@ -127,7 +164,7 @@ def local_matching_1eps_phases(
             ledger.charge(1, f"flip-l{length}")
             active -= outcome.deactivated
             check_matching(graph, [tuple(e) for e in matching])
-        yield snapshot()
+        yield snapshot(length + 2)
 
     return OneEpsResult(
         matching=matching,

@@ -22,13 +22,16 @@ from typing import Optional, Set
 
 import networkx as nx
 
-from ..congest import CongestionAudit, line_graph, run_on_line_graph
-from ..errors import InvalidInstance
+from ..congest import CongestionAudit, line_graph
+from ..congest.network import CONGEST, SynchronousNetwork
+from ..errors import InvalidInstance, RoundLimitExceeded
 from ..graphs import check_matching, edge_weight, max_node_weight
 from ..mis.coloring import delta_plus_one_coloring
 from .maxis_coloring import MaxISColoringProgram
 from .maxis_coloring import IN_IS as COLORING_IN_IS
 from .maxis_layers import IN_IS, MaxISLayersProgram
+from .stepwise import stepper_snapshots
+from ..utils import drain
 
 
 @dataclass
@@ -39,6 +42,131 @@ class MatchingResult:
     weight: int
     rounds: int
     audit: Optional[CongestionAudit] = None
+
+
+def matching_lines_phases(
+    graph: nx.Graph,
+    method: str = "layers",
+    seed: int = 0,
+    audit: Optional[CongestionAudit] = None,
+    max_rounds: Optional[int] = None,
+    capture_state: bool = False,
+    resume: Optional[dict] = None,
+    snapshots: bool = True,
+):
+    """Anytime Theorem 2.10: MaxIS on ``L(G)``, one snapshot per
+    selection phase of the underlying MaxIS engine.
+
+    Yields ``(rounds, matching, weight, final, state)`` tuples; the
+    matching is vertex-disjoint at every boundary because the line
+    graph's independent-set invariant holds at every prefix.  Returns
+    the usual :class:`MatchingResult` on completion, ``None`` when
+    ``max_rounds`` cuts the run cooperatively.
+    :func:`matching_local_ratio` *is* the drain of this generator
+    (``snapshots=False``: no mid-run snapshots are yielded or paid
+    for; the matching is read off the final outputs instead), so the
+    two paths cannot drift.  ``capture_state`` / ``resume`` follow the
+    :func:`~repro.core.maxis_layers.maxis_layers_phases` protocol; the
+    line graph is deterministic and rebuilt at resume, never
+    serialized.
+    """
+
+    if graph.number_of_edges() == 0:
+        return MatchingResult(matching=set(), weight=0, rounds=0,
+                              audit=audit)
+
+    lg = line_graph(graph)
+    # An explicit budget always wins — including max_rounds=0, which
+    # must truncate at the initial state, not fall back to the default
+    # cap (`or` would swallow it).
+    if method == "layers":
+        w = max(2, max_node_weight(lg))
+        n = max(2, lg.number_of_nodes())
+        budget = max_rounds if max_rounds is not None else 600 * (
+            (math.ceil(math.log2(n)) + 2) * (math.ceil(math.log2(w)) + 2)
+        )
+
+        def factory(e):
+            return MaxISLayersProgram(lg.nodes[e].get("weight", 1))
+
+        winner_output = IN_IS
+        run_label = "mwm-2approx-layers"
+        checkpoint_every = 3
+    elif method == "coloring":
+        coloring = delta_plus_one_coloring(lg)
+
+        def factory(e):
+            neighbor_colors = {
+                e2: coloring.colors[e2] for e2 in lg.neighbors(e)
+            }
+            return MaxISColoringProgram(
+                weight=lg.nodes[e].get("weight", 1),
+                color=coloring.colors[e],
+                neighbor_colors=neighbor_colors,
+            )
+
+        budget = max_rounds if max_rounds is not None else (
+            20 * (coloring.palette + 2) + 4 * lg.number_of_nodes()
+        )
+        winner_output = COLORING_IN_IS
+        run_label = "mwm-2approx-coloring"
+        checkpoint_every = 1
+    else:
+        raise InvalidInstance(f"unknown method {method!r}")
+
+    # Same construction as run_on_line_graph (which matching_local_ratio
+    # uses), unrolled because the audit hook and the stepwise driver
+    # both need the network object.
+    network = SynchronousNetwork(lg, model=CONGEST, seed=seed)
+    if audit is not None:
+        def trace(round_index, envelope):
+            audit.record_line_message(round_index, envelope.src,
+                                      envelope.dst)
+            audit.record_aggregated_round(round_index, graph)
+
+        network.trace = trace
+
+    matching: Set[frozenset] = set()
+    weight = 0
+    sim_state = None
+    if resume is not None:
+        matching = set(resume["matching"])
+        weight = resume["weight"]
+        sim_state = resume["sim"]
+    stepper = network.run_stepwise(
+        factory,
+        max_rounds=budget,
+        label=run_label,
+        stop_on_limit=True,
+        checkpoint_every=checkpoint_every if snapshots else None,
+        capture_state=capture_state,
+        resume_state=sim_state,
+    )
+
+    def fold(newly_halted):
+        nonlocal weight
+        for line_node, output in newly_halted:
+            if output == winner_output:
+                matching.add(frozenset(line_node))
+                weight += edge_weight(graph, *line_node)
+        return frozenset(matching), weight
+
+    def make_state(rounds, objective, sim):
+        return {"rounds": rounds, "method": method,
+                "matching": set(matching), "weight": objective,
+                "sim": sim}
+
+    result = yield from stepper_snapshots(stepper, fold, make_state)
+    if not snapshots:
+        # Fast-drain form: the stepper yielded nothing, so read the
+        # winners off the final outputs (the historical code path).
+        fold((line_node, output)
+             for line_node, output in result.outputs.items())
+    check_matching(graph, [tuple(e) for e in matching])
+    if not result.completed:
+        return None
+    return MatchingResult(matching=set(matching), weight=weight,
+                          rounds=result.rounds, audit=audit)
 
 
 def matching_local_ratio(
@@ -54,53 +182,19 @@ def matching_local_ratio(
     randomized, O(MIS·log W) rounds) or ``"coloring"`` (Algorithm 3,
     deterministic, O(Δ + log* n) rounds with the coloring as a black
     box).  Edge weights come from the ``weight`` attribute (default 1).
+
+    This is the fast drain of :func:`matching_lines_phases` (one code
+    path, so the two cannot drift; no per-phase bookkeeping is paid).
+    A ``max_rounds`` the protocol cannot meet raises
+    :class:`~repro.errors.RoundLimitExceeded` — the historical
+    contract of this entry point; use the phase generator (or the
+    anytime facade) for cooperative truncation instead.
     """
 
-    if graph.number_of_edges() == 0:
-        return MatchingResult(matching=set(), weight=0, rounds=0, audit=audit)
-
-    lg = line_graph(graph)
-    if method == "layers":
-        w = max(2, max_node_weight(lg))
-        n = max(2, lg.number_of_nodes())
-        budget = max_rounds or 600 * (
-            (math.ceil(math.log2(n)) + 2) * (math.ceil(math.log2(w)) + 2)
-        )
-        result = run_on_line_graph(
-            graph,
-            lambda e: MaxISLayersProgram(lg.nodes[e].get("weight", 1)),
-            seed=seed,
-            max_rounds=budget,
-            label="mwm-2approx-layers",
-            audit=audit,
-        )
-        winners = result.output_set(IN_IS)
-    elif method == "coloring":
-        coloring = delta_plus_one_coloring(lg)
-
-        def factory(e):
-            neighbor_colors = {
-                e2: coloring.colors[e2] for e2 in lg.neighbors(e)
-            }
-            return MaxISColoringProgram(
-                weight=lg.nodes[e].get("weight", 1),
-                color=coloring.colors[e],
-                neighbor_colors=neighbor_colors,
-            )
-
-        budget = max_rounds or (
-            20 * (coloring.palette + 2) + 4 * lg.number_of_nodes()
-        )
-        result = run_on_line_graph(
-            graph, factory, seed=seed, max_rounds=budget,
-            label="mwm-2approx-coloring", audit=audit,
-        )
-        winners = result.output_set(COLORING_IN_IS)
-    else:
-        raise InvalidInstance(f"unknown method {method!r}")
-
-    matching = {frozenset(e) for e in winners}
-    check_matching(graph, [tuple(e) for e in winners])
-    weight = sum(edge_weight(graph, *tuple(e)) for e in matching)
-    return MatchingResult(matching=matching, weight=weight,
-                         rounds=result.rounds, audit=audit)
+    result = drain(matching_lines_phases(
+        graph, method=method, seed=seed, audit=audit,
+        max_rounds=max_rounds, snapshots=False,
+    ))
+    if result is None:
+        raise RoundLimitExceeded(max_rounds or 0, ())
+    return result

@@ -32,6 +32,7 @@ from ..congest import NodeContext, NodeProgram, SynchronousNetwork
 from ..errors import InvalidInstance
 from ..graphs import check_independent_set, node_weight
 from ..mis.coloring import ColoringResult, delta_plus_one_coloring
+from .stepwise import stepper_snapshots
 
 IN_IS = "InIS"
 NOT_IN_IS = "NotInIS"
@@ -66,6 +67,21 @@ class MaxISColoringProgram(NodeProgram):
         self.active_neighbors: Set[Hashable] = set(ctx.neighbors)
         self.wait_set: Set[Hashable] = set()
         self._act(ctx)
+
+    # -- checkpoint support (resume protocol) --------------------------
+    def export_state(self) -> dict:
+        return {
+            "weight": self.weight,
+            "status": self.status,
+            "active_neighbors": set(self.active_neighbors),
+            "wait_set": set(self.wait_set),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.weight = state["weight"]
+        self.status = state["status"]
+        self.active_neighbors = set(state["active_neighbors"])
+        self.wait_set = set(state["wait_set"])
 
     def on_round(self, ctx: NodeContext) -> None:
         for src, payload in ctx.inbox.items():
@@ -120,6 +136,104 @@ class MaxISColoringResult:
         """Local-ratio rounds plus the paper's O(Δ + log* n) coloring."""
 
         return self.local_ratio_rounds + self.coloring.accounted_bek14_rounds
+
+
+def maxis_coloring_phases(
+    graph: nx.Graph,
+    network: Optional[SynchronousNetwork] = None,
+    coloring: Optional[ColoringResult] = None,
+    max_rounds: Optional[int] = None,
+    label: str = "maxis-coloring",
+    checkpoint_every: int = 1,
+    capture_state: bool = False,
+    resume: Optional[dict] = None,
+):
+    """Anytime Algorithm 3: one snapshot per local-ratio sweep round.
+
+    Yields ``(rounds, chosen, weight, final, state)`` tuples where
+    ``rounds`` is the paper-*accounted* cumulative count — the
+    O(Δ + log* n) coloring charge (``accounted_bek14_rounds``) plus
+    the local-ratio rounds simulated so far — matching what
+    :class:`MaxISColoringResult.accounted_rounds` reports at the end.
+    ``chosen`` is independent at every boundary (same stack discipline
+    as Algorithm 2), so every snapshot is a valid partial solution.
+
+    ``max_rounds`` budgets the accounted count: a budget below the
+    coloring charge stops before simulating anything (the generator
+    returns ``None`` without yielding), and otherwise the local-ratio
+    simulation is capped at the remainder.  Returns the usual
+    :class:`MaxISColoringResult` on completion, ``None`` on a budget
+    cut.  ``capture_state`` / ``resume`` follow the
+    :func:`~repro.core.maxis_layers.maxis_layers_phases` protocol: the
+    final snapshot's ``state`` resumes the run bit-for-bit (the
+    coloring itself is deterministic and recomputed, not serialized).
+    Draining with no budget reproduces
+    :func:`maxis_local_ratio_coloring` bit for bit.
+    """
+
+    if coloring is None:
+        coloring = delta_plus_one_coloring(graph)
+    colors = coloring.colors
+    if network is None:
+        network = SynchronousNetwork(graph, seed=0)
+    base = coloring.accounted_bek14_rounds
+    if max_rounds is None:
+        sim_cap = 20 * (coloring.palette + 2) + 4 * graph.number_of_nodes()
+    else:
+        if max_rounds < base and resume is None:
+            # The budget cannot even pay for the coloring black box:
+            # stop cooperatively before simulating a single round.
+            return None
+        sim_cap = max(0, max_rounds - base)
+
+    def factory(node: Hashable) -> MaxISColoringProgram:
+        neighbor_colors = {u: colors[u] for u in graph.neighbors(node)}
+        return MaxISColoringProgram(
+            weight=node_weight(graph, node),
+            color=colors[node],
+            neighbor_colors=neighbor_colors,
+        )
+
+    chosen: Set[Hashable] = set()
+    weight = 0
+    sim_state = None
+    if resume is not None:
+        chosen = set(resume["chosen"])
+        weight = resume["weight"]
+        sim_state = resume["sim"]
+    stepper = network.run_stepwise(
+        factory,
+        max_rounds=sim_cap,
+        label=label,
+        stop_on_limit=True,
+        checkpoint_every=checkpoint_every,
+        capture_state=capture_state,
+        resume_state=sim_state,
+    )
+
+    def fold(newly_halted):
+        nonlocal weight
+        for node, output in newly_halted:
+            if output == IN_IS:
+                chosen.add(node)
+                weight += node_weight(graph, node)
+        return frozenset(chosen), weight
+
+    def make_state(rounds, objective, sim):
+        return {"rounds": rounds, "chosen": set(chosen),
+                "weight": objective, "sim": sim}
+
+    result = yield from stepper_snapshots(stepper, fold, make_state,
+                                          rounds_offset=base)
+    check_independent_set(graph, chosen)
+    if not result.completed:
+        return None
+    return MaxISColoringResult(
+        independent_set=set(chosen),
+        weight=weight,
+        local_ratio_rounds=result.rounds,
+        coloring=coloring,
+    )
 
 
 def maxis_local_ratio_coloring(

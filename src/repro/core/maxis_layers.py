@@ -46,6 +46,7 @@ from ..congest import NodeContext, NodeProgram, SynchronousNetwork
 from ..errors import InvalidInstance
 from ..graphs import check_independent_set, max_node_weight, node_weight
 from ..utils import geometric_layers
+from .stepwise import stepper_snapshots
 
 IN_IS = "InIS"
 NOT_IN_IS = "NotInIS"
@@ -92,6 +93,27 @@ class MaxISLayersProgram(NodeProgram):
         self.neighbor_layers: Dict[Hashable, int] = {}
         self.bid: Optional[float] = None
         self.eligible = False
+
+    # -- checkpoint support (resume protocol) --------------------------
+    def export_state(self) -> dict:
+        return {
+            "weight": self.weight,
+            "status": self.status,
+            "active_neighbors": set(self.active_neighbors),
+            "wait_set": set(self.wait_set),
+            "neighbor_layers": dict(self.neighbor_layers),
+            "bid": self.bid,
+            "eligible": self.eligible,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.weight = state["weight"]
+        self.status = state["status"]
+        self.active_neighbors = set(state["active_neighbors"])
+        self.wait_set = set(state["wait_set"])
+        self.neighbor_layers = dict(state["neighbor_layers"])
+        self.bid = state["bid"]
+        self.eligible = state["eligible"]
 
     # ------------------------------------------------------------------
     def on_round(self, ctx: NodeContext) -> None:
@@ -216,14 +238,16 @@ def maxis_layers_phases(
     trace: Optional[LayerTrace] = None,
     label: str = "maxis-layers",
     checkpoint_every: int = 3,
+    capture_state: bool = False,
+    resume: Optional[dict] = None,
 ):
     """Anytime Algorithm 2: one snapshot per selection phase.
 
     A generator that drives the protocol through
     :meth:`~repro.congest.SynchronousNetwork.run_stepwise` and yields a
-    ``(rounds, chosen, weight, final)`` tuple at every selection-phase
-    boundary (one phase = 3 simulator rounds; ``final`` marks the
-    run's last snapshot).  ``chosen`` is the set
+    ``(rounds, chosen, weight, final, state)`` tuple at every
+    selection-phase boundary (one phase = 3 simulator rounds;
+    ``final`` marks the run's last snapshot).  ``chosen`` is the set
     of nodes that have joined the independent set so far — independent
     at *every* prefix of the execution, because the stack discipline
     only lets a node join once every undecided neighbor has declined —
@@ -236,32 +260,49 @@ def maxis_layers_phases(
     holds the best partial solution, and no rounds beyond the budget
     are executed.  Draining the generator with no budget reproduces
     :func:`maxis_local_ratio_layers` bit for bit.
+
+    With ``capture_state=True`` the final snapshot's ``state`` holds a
+    resume payload (the simulator execution state plus the partial
+    solution); passing it back as ``resume=`` continues the protocol
+    from that boundary — same messages, same randomness, continued
+    round/metric accounting — as if the budget had never cut it.
+    ``max_rounds`` stays cumulative across the hops.
     """
 
     if network is None:
         network = SynchronousNetwork(graph, seed=seed)
     if max_rounds is None:
         max_rounds = default_round_budget(graph)
+    chosen: Set[Hashable] = set()
+    weight = 0
+    sim_state = None
+    if resume is not None:
+        chosen = set(resume["chosen"])
+        weight = resume["weight"]
+        sim_state = resume["sim"]
     stepper = network.run_stepwise(
         lambda node: MaxISLayersProgram(node_weight(graph, node), trace),
         max_rounds=max_rounds,
         label=label,
         stop_on_limit=True,
         checkpoint_every=checkpoint_every,
+        capture_state=capture_state,
+        resume_state=sim_state,
     )
-    chosen: Set[Hashable] = set()
-    weight = 0
-    while True:
-        try:
-            snapshot = next(stepper)
-        except StopIteration as stop:
-            result = stop.value
-            break
-        for node, output in snapshot.newly_halted:
+
+    def fold(newly_halted):
+        nonlocal weight
+        for node, output in newly_halted:
             if output == IN_IS:
                 chosen.add(node)
                 weight += node_weight(graph, node)
-        yield snapshot.rounds, frozenset(chosen), weight, snapshot.final
+        return frozenset(chosen), weight
+
+    def make_state(rounds, objective, sim):
+        return {"rounds": rounds, "chosen": set(chosen),
+                "weight": objective, "sim": sim}
+
+    result = yield from stepper_snapshots(stepper, fold, make_state)
     check_independent_set(graph, chosen)
     if not result.completed:
         return None

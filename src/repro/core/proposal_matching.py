@@ -80,6 +80,17 @@ class ProposalProgram(NodeProgram):
         self.live: Set[Hashable] = set(ctx.neighbors)
         self.proposed_to: Optional[Hashable] = None
 
+    # -- checkpoint support (resume protocol) --------------------------
+    def export_state(self) -> dict:
+        return {
+            "live": set(self.live),
+            "proposed_to": self.proposed_to,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.live = set(state["live"])
+        self.proposed_to = state["proposed_to"]
+
     def on_round(self, ctx: NodeContext) -> None:
         for src, payload in ctx.inbox.items():
             if payload and payload[0] == "retired":
@@ -133,6 +144,118 @@ class ProposalResult:
     phases: int
 
 
+def bipartite_proposal_phases(
+    graph: nx.Graph,
+    left: Set[Hashable],
+    right: Set[Hashable],
+    eps: float = 0.25,
+    k: Optional[int] = None,
+    seed: int = 0,
+    network: Optional[SynchronousNetwork] = None,
+    phases: Optional[int] = None,
+    max_rounds: Optional[int] = None,
+    capture_state: bool = False,
+    resume: Optional[dict] = None,
+    snapshots: bool = True,
+):
+    """Anytime Lemma B.13: one snapshot per propose/respond phase.
+
+    Yields ``(rounds, matching, unlucky, final, state)`` tuples every
+    two simulator rounds (one proposal phase); the matching is
+    vertex-disjoint at every boundary because pairs retire atomically.
+    Returns the usual :class:`ProposalResult` on completion, ``None``
+    when ``max_rounds`` cuts the protocol cooperatively (the
+    simulator stops at the budget; no further rounds are executed).
+    Draining with ``max_rounds=None`` reproduces
+    :func:`bipartite_proposal_matching` bit for bit.
+    ``capture_state`` / ``resume`` follow the
+    :func:`~repro.core.maxis_layers.maxis_layers_phases` protocol.
+    ``snapshots=False`` is the fast-drain form the legacy entry point
+    uses: no mid-run snapshots are yielded or paid for, and the
+    matching is read off the final outputs instead — identical result,
+    zero per-phase bookkeeping.
+    """
+
+    delta = max_degree(graph)
+    if k is None:
+        k = optimal_k(delta, eps)
+    if phases is None:
+        phases = lemma_b13_rounds(delta, eps, k)
+    if resume is not None:
+        # The payload pins the parameters the original run derived, so
+        # a resumed protocol replays the identical phase deadline even
+        # if the caller omitted explicit overrides.
+        k = resume["k"]
+        phases = resume["phases"]
+    if network is None:
+        network = SynchronousNetwork(graph, seed=seed)
+    sides = {v: ("L" if v in left else "R") for v in graph.nodes}
+    for u, v in graph.edges:
+        if sides[u] == sides[v]:
+            raise InvalidInstance(
+                f"edge ({u!r}, {v!r}) does not cross the bipartition"
+            )
+    cap = 2 * phases + 4 if max_rounds is None else max_rounds
+    matching: Set[frozenset] = set()
+    unlucky: Set[Hashable] = set()
+    sim_state = None
+    if resume is not None:
+        matching = set(resume["matching"])
+        unlucky = set(resume["unlucky"])
+        sim_state = resume["sim"]
+    stepper = network.run_stepwise(
+        lambda node: ProposalProgram(sides[node], phases),
+        max_rounds=cap,
+        label="proposal-matching",
+        stop_on_limit=max_rounds is not None,
+        checkpoint_every=2 if snapshots else None,
+        capture_state=capture_state,
+        resume_state=sim_state,
+    )
+    while True:
+        try:
+            snapshot = next(stepper)
+        except StopIteration as stop:
+            result = stop.value
+            break
+        for node, output in snapshot.newly_halted:
+            status, partner = output if output else (UNLUCKY, None)
+            if status == MATCHED:
+                matching.add(frozenset((node, partner)))
+            elif status == UNLUCKY:
+                unlucky.add(node)
+        state = None
+        if snapshot.state is not None:
+            state = {
+                "rounds": snapshot.rounds,
+                "k": k,
+                "phases": phases,
+                "matching": set(matching),
+                "unlucky": set(unlucky),
+                "sim": snapshot.state,
+            }
+        yield snapshot.rounds, frozenset(matching), set(unlucky), \
+            snapshot.final, state
+    if not snapshots:
+        # Fast-drain form: the stepper yielded nothing, so read the
+        # outcome off the final outputs (the historical code path).
+        for node, output in result.outputs.items():
+            status, partner = output if output else (UNLUCKY, None)
+            if status == MATCHED:
+                matching.add(frozenset((node, partner)))
+            elif status == UNLUCKY:
+                unlucky.add(node)
+    check_matching(graph, [tuple(e) for e in matching])
+    if not result.completed:
+        return None
+    return ProposalResult(
+        matching=matching,
+        unlucky=unlucky,
+        rounds=result.rounds,
+        phases=phases,
+    )
+
+
 def bipartite_proposal_matching(
     graph: nx.Graph,
     left: Set[Hashable],
@@ -145,39 +268,105 @@ def bipartite_proposal_matching(
 ) -> ProposalResult:
     """Lemma B.13's algorithm on a bipartite graph with given sides."""
 
-    delta = max_degree(graph)
-    if k is None:
-        k = optimal_k(delta, eps)
-    if phases is None:
-        phases = lemma_b13_rounds(delta, eps, k)
-    if network is None:
-        network = SynchronousNetwork(graph, seed=seed)
-    sides = {v: ("L" if v in left else "R") for v in graph.nodes}
-    for u, v in graph.edges:
-        if sides[u] == sides[v]:
-            raise InvalidInstance(
-                f"edge ({u!r}, {v!r}) does not cross the bipartition"
-            )
-    result = network.run(
-        lambda node: ProposalProgram(sides[node], phases),
-        max_rounds=2 * phases + 4,
-        label="proposal-matching",
-    )
+    from ..utils import drain
+
+    return drain(bipartite_proposal_phases(
+        graph, left, right, eps=eps, k=k, seed=seed, network=network,
+        phases=phases, snapshots=False,
+    ))
+
+
+def general_proposal_phases(
+    graph: nx.Graph,
+    eps: float = 0.25,
+    k: Optional[int] = None,
+    seed: int = 0,
+    repetitions: Optional[int] = None,
+    max_rounds: Optional[int] = None,
+    capture_state: bool = False,
+    resume: Optional[dict] = None,
+):
+    """Anytime Lemma B.14: one snapshot per bipartition repetition.
+
+    Yields ``(rounds, matching, final, state)`` after the initial
+    state and after every repetition; the matching is vertex-disjoint
+    at every boundary (repetitions only ever add disjoint pairs).
+    With ``max_rounds`` set, stops before launching a repetition once
+    the ledger has consumed the budget and returns ``None``;
+    otherwise returns the usual ``(matching, rounds, ledger)`` triple.
+    Draining with no budget reproduces
+    :func:`general_proposal_matching` bit for bit.
+
+    ``capture_state=True`` attaches a resume payload (matching,
+    surviving node pool, ledger, split-RNG state) to every snapshot;
+    ``resume=`` restores it.  The surviving pool is rebuilt with the
+    exact insert-then-discard history of the uncut run so the split
+    comprehension's iteration order — and with it the RNG assignment —
+    is reproduced verbatim.
+    """
+
+    if repetitions is None:
+        repetitions = max(1, math.ceil(2.0 * math.log(2.0 / eps))) + 1
+    rng = stable_rng(seed, "b14-splits")
+    ledger = RoundLedger()
     matching: Set[frozenset] = set()
-    unlucky: Set[Hashable] = set()
-    for node, output in result.outputs.items():
-        status, partner = output if output else (UNLUCKY, None)
-        if status == MATCHED:
-            matching.add(frozenset((node, partner)))
-        elif status == UNLUCKY:
-            unlucky.add(node)
+    remaining: Set[Hashable] = set(graph.nodes)
+    start_rep = 0
+    if resume is not None:
+        start_rep = resume["repetition"]
+        repetitions = resume["repetitions"]
+        matching = set(resume["matching"])
+        survivors = resume["remaining"]
+        for v in graph.nodes:
+            if v not in survivors:
+                remaining.discard(v)
+        ledger.total = resume["ledger"]["total"]
+        ledger.breakdown = dict(resume["ledger"]["breakdown"])
+        version, internals, gauss = resume["rng"]
+        rng.setstate((version, tuple(internals), gauss))
+
+    def snapshot(next_rep):
+        state = None
+        if capture_state:
+            version, internals, gauss = rng.getstate()
+            state = {
+                "rounds": ledger.total,
+                "repetition": next_rep,
+                "repetitions": repetitions,
+                "matching": set(matching),
+                "remaining": set(remaining),
+                "ledger": {"total": ledger.total,
+                           "breakdown": dict(ledger.breakdown)},
+                "rng": [version, list(internals), gauss],
+            }
+        return ledger.total, frozenset(matching), \
+            next_rep >= repetitions, state
+
+    yield snapshot(start_rep)
+    for repetition in range(start_rep, repetitions):
+        if max_rounds is not None and ledger.total >= max_rounds:
+            return None
+        left = {v for v in remaining if rng.random() < 0.5}
+        right = remaining - left
+        sub = nx.Graph()
+        sub.add_nodes_from(remaining)
+        sub.add_edges_from(
+            (u, v) for u, v in graph.edges
+            if (u in left and v in right) or (u in right and v in left)
+        )
+        ledger.charge(1, "bipartition")
+        if sub.number_of_edges() > 0:
+            outcome = bipartite_proposal_matching(
+                sub, left, right, eps=eps, k=k,
+                seed=seed + 13 * (repetition + 1),
+            )
+            ledger.charge(outcome.rounds, "bipartite-proposals")
+            matching |= outcome.matching
+            for e in outcome.matching:
+                remaining -= set(e)
+        yield snapshot(repetition + 1)
     check_matching(graph, [tuple(e) for e in matching])
-    return ProposalResult(
-        matching=matching,
-        unlucky=unlucky,
-        rounds=result.rounds,
-        phases=phases,
-    )
+    return matching, ledger.total, ledger
 
 
 def general_proposal_matching(
@@ -194,31 +383,8 @@ def general_proposal_matching(
     runs the bipartite algorithm; matched nodes leave the pool.
     """
 
-    if repetitions is None:
-        repetitions = max(1, math.ceil(2.0 * math.log(2.0 / eps))) + 1
-    rng = stable_rng(seed, "b14-splits")
-    ledger = RoundLedger()
-    matching: Set[frozenset] = set()
-    remaining: Set[Hashable] = set(graph.nodes)
-    for repetition in range(repetitions):
-        left = {v for v in remaining if rng.random() < 0.5}
-        right = remaining - left
-        sub = nx.Graph()
-        sub.add_nodes_from(remaining)
-        sub.add_edges_from(
-            (u, v) for u, v in graph.edges
-            if (u in left and v in right) or (u in right and v in left)
-        )
-        ledger.charge(1, "bipartition")
-        if sub.number_of_edges() == 0:
-            continue
-        outcome = bipartite_proposal_matching(
-            sub, left, right, eps=eps, k=k,
-            seed=seed + 13 * (repetition + 1),
-        )
-        ledger.charge(outcome.rounds, "bipartite-proposals")
-        matching |= outcome.matching
-        for e in outcome.matching:
-            remaining -= set(e)
-    check_matching(graph, [tuple(e) for e in matching])
-    return matching, ledger.total, ledger
+    from ..utils import drain
+
+    return drain(general_proposal_phases(
+        graph, eps=eps, k=k, seed=seed, repetitions=repetitions,
+    ))

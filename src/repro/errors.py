@@ -53,6 +53,31 @@ class InvalidInstance(ReproError):
     """An input graph/weighting does not satisfy a precondition."""
 
 
+class ResumeError(ReproError):
+    """A checkpointed run could not be resumed."""
+
+
+class NotResumable(ResumeError):
+    """The source of a resume carries no usable checkpoint state.
+
+    Raised when resuming a ``status="complete"`` report (there is
+    nothing left to run), a report/checkpoint without a
+    ``resume_state`` payload, a malformed payload, or when the new
+    round budget is already below the checkpoint's consumed rounds.
+    """
+
+
+class ResumeMismatch(ResumeError):
+    """A resume payload does not match the instance/algorithm it was
+    asked to continue on.
+
+    The payload pins the algorithm name and a budget-agnostic
+    instance fingerprint (graph structure, weights, model, ε, seed);
+    resuming against anything else would silently break the
+    "resume ≡ never-stopped" contract, so it raises instead.
+    """
+
+
 class AlgorithmContractViolation(ReproError):
     """An algorithm produced output that violates its own guarantees.
 

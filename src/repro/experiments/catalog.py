@@ -1169,15 +1169,16 @@ COMPARISON = register_experiment(ExperimentSpec(
 # BUD — anytime budget sweeps (quality-vs-round curves)
 # ======================================================================
 def _anytime_contract_check(rows):
-    """The anytime protocol's contract, per (algorithm, ε) curve:
-    truncated runs fit their budget, quality never decreases with more
-    budget, the unbounded run completes, and every completed run
-    matches the unbounded objective (prefix-of-the-same-run
-    determinism at a fixed seed)."""
+    """The anytime protocol's contract, per (algorithm, ε,
+    bandwidth_factor) curve: truncated runs fit their budget, quality
+    never decreases with more budget, the unbounded run completes, and
+    every completed run matches the unbounded objective
+    (prefix-of-the-same-run determinism at a fixed seed)."""
 
     order, groups = [], {}
     for row in rows:
-        key = (row["algorithm"], row.get("eps"))
+        key = (row["algorithm"], row.get("eps"),
+               row.get("bandwidth_factor"))
         if key not in groups:
             order.append(key)
             groups[key] = []
@@ -1223,6 +1224,42 @@ def _curve_moves_check(rows):
     assert max(objectives) > min(objectives), (
         "the budget sweep never changed the objective"
     )
+
+
+def _bandwidth_axis_check(rows):
+    """The bandwidth_factor axis is observational metering, not a
+    different algorithm: at every round budget the execution is
+    invariant along the axis (identical objective, rounds and status
+    at every word width), recorded violations are monotone
+    non-increasing as the per-edge word widens, the narrowest width
+    actually triggers violations (the axis is exercised), and the
+    simulator default records none."""
+
+    by_budget = {}
+    for row in rows:
+        by_budget.setdefault(row["budget"], []).append(row)
+    for budget, group in by_budget.items():
+        group = sorted(group, key=lambda r: r["bandwidth_factor"])
+        reference = group[0]
+        for row in group[1:]:
+            for key in ("objective", "rounds", "status"):
+                assert row[key] == reference[key], (
+                    f"budget={budget}: {key} varied along the "
+                    f"bandwidth axis ({row[key]} vs {reference[key]})"
+                )
+        violations = [row["violations"] for row in group]
+        assert violations == sorted(violations, reverse=True), (
+            f"budget={budget}: violations not monotone in bandwidth: "
+            f"{violations}"
+        )
+        assert violations[0] > 0, (
+            f"budget={budget}: the narrowest bandwidth recorded no "
+            "violations — the sweep never exercised the axis"
+        )
+        assert violations[-1] == 0, (
+            f"budget={budget}: the default bandwidth recorded "
+            f"{violations[-1]} violations"
+        )
 
 
 _BUDGETS_MAXIS_G = _gnp(40, 0.1, 1, node_w={"max_weight": 64, "seed": 2})
@@ -1308,6 +1345,23 @@ BUDGETS = register_experiment(ExperimentSpec(
             checks=(
                 _rows_check("anytime_contract", _anytime_contract_check),
                 _rows_check("curve_moves", _curve_moves_check),
+            ),
+        ),
+        Section(
+            name="bandwidth_curve",
+            title="BUD-e: bandwidth-budget sweep (bandwidth_factor × "
+                  "round budget; ROADMAP open item)",
+            measurement="budget_curve",
+            grid=tuple(
+                {"graph": _BUDGETS_MAXIS_G, "algorithm": "maxis-layers",
+                 "bandwidth_factor": bandwidth_factor, "budget": budget}
+                for bandwidth_factor in (1, 2, 8)
+                for budget in (4, None)
+            ),
+            seeds=(3,),
+            checks=(
+                _rows_check("anytime_contract", _anytime_contract_check),
+                _rows_check("bandwidth_axis", _bandwidth_axis_check),
             ),
         ),
     ),

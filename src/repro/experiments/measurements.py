@@ -343,7 +343,8 @@ def _nmis_budget_residual(graph, seed, delta=6, k=2.0, failure_delta=0.05,
 # ----------------------------------------------------------------------
 @register_measurement("budget_curve")
 def _budget_curve(graph, seed, algorithm="maxis-layers", budget=None,
-                  eps=None, model=None, oracle=False):
+                  eps=None, model=None, oracle=False,
+                  bandwidth_factor=None):
     """One budgeted anytime solve: a point on the quality-vs-rounds curve.
 
     ``budget`` is forwarded as ``Instance.max_rounds`` (``None`` = run
@@ -351,9 +352,18 @@ def _budget_curve(graph, seed, algorithm="maxis-layers", budget=None,
     the rounds actually consumed, and the ``status`` so the checks can
     assert the anytime contract — truncated runs fit the budget, more
     budget never hurts, and the unbounded run completes.
+
+    ``bandwidth_factor`` sweeps the CONGEST per-edge word width
+    (``Instance.bandwidth_factor``, simulator default 8): bandwidth
+    metering is observational, so the execution — objective, rounds,
+    bits — is invariant along this axis while the recorded
+    ``violations`` count falls as the word widens (the bandwidth
+    checks in the ``budgets`` experiment pin exactly that).
     """
 
     kwargs = {} if eps is None else {"eps": eps}
+    if bandwidth_factor is not None:
+        kwargs["bandwidth_factor"] = bandwidth_factor
     report = solve(
         Instance(graph, model=model, seed=seed, max_rounds=budget,
                  **kwargs),
@@ -365,6 +375,8 @@ def _budget_curve(graph, seed, algorithm="maxis-layers", budget=None,
         "rounds": report.rounds,
         "status": report.status,
         "complete": report.status == "complete",
+        "violations": (report.metrics.violations
+                       if report.metrics is not None else None),
     }
     if oracle:
         _oracle(measures, report, ratio_key=None)

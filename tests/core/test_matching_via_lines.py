@@ -4,7 +4,7 @@ import networkx as nx
 import pytest
 
 from repro.congest import CongestionAudit
-from repro.core import matching_local_ratio
+from repro.core import matching_lines_phases, matching_local_ratio
 from repro.errors import InvalidInstance
 from repro.graphs import (
     assign_edge_weights,
@@ -69,6 +69,23 @@ class TestTwoApproximation:
         a = matching_local_ratio(edge_weighted_graph, method="coloring")
         b = matching_local_ratio(edge_weighted_graph, method="coloring")
         assert a.matching == b.matching
+
+    @pytest.mark.parametrize("method", ["layers", "coloring"])
+    def test_zero_budget_truncates_not_unbounded(self, edge_weighted_graph,
+                                                 method):
+        # max_rounds=0 is an explicit (exhausted) budget, not "use the
+        # default cap": the phase generator must stop at the initial
+        # state and report truncation (return None), simulating nothing.
+        gen = matching_lines_phases(edge_weighted_graph, method=method,
+                                    seed=2, max_rounds=0)
+        snapshots = []
+        while True:
+            try:
+                snapshots.append(next(gen))
+            except StopIteration as stop:
+                assert stop.value is None
+                break
+        assert all(snapshot[0] == 0 for snapshot in snapshots)
 
 
 class TestCongestionClaim:
