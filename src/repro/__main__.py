@@ -4,6 +4,7 @@ Commands
 --------
 ``maxis``     run a MaxIS algorithm on a generated workload
 ``matching``  run a matching algorithm on a generated workload
+``resume``    continue a truncated run from a ``--save-state`` file
 ``bench``     run a registered experiment and emit a JSON artifact
 ``info``      print the library's algorithm inventory (``--json`` for
               the machine-readable :mod:`repro.api` registry)
@@ -11,11 +12,20 @@ Commands
 The ``maxis`` and ``matching`` commands are thin views over the
 :mod:`repro.api` algorithm registry: every ``--algorithm`` choice is a
 registered :class:`~repro.api.AlgorithmSpec`, dispatched through
-:func:`repro.api.solve`.
+:func:`repro.api.solve`.  With ``--max-rounds`` a run may stop early
+(``status=truncated``); adding ``--save-state FILE`` persists the
+checkpoint, and ``python -m repro resume FILE`` warm-starts from it —
+optionally under a new (cumulative) ``--max-rounds`` budget, hopping as
+many times as needed until the run completes.  ``--backend array``
+selects the vectorized simulator backend (results are bit-identical;
+resume files are backend-agnostic).
 
 Examples::
 
     python -m repro maxis --algorithm layers --nodes 60 --max-weight 64
+    python -m repro maxis --nodes 200 --max-rounds 6 --save-state cp.json
+    python -m repro resume cp.json --max-rounds 12 --save-state cp.json
+    python -m repro resume cp.json
     python -m repro matching --algorithm fast2eps --nodes 40 --eps 0.5
     python -m repro matching --algorithm oneeps --nodes 30 --export out.csv
     python -m repro info --json
@@ -35,6 +45,7 @@ from typing import List, Optional
 
 from .analysis import render_artifact, render_table, write_rows
 from .api import cli_names, list_algorithms, random_instance, solve
+from .congest import BACKENDS
 
 MAXIS_ALGORITHMS = cli_names("maxis")
 MATCHING_ALGORITHMS = cli_names("matching")
@@ -42,6 +53,11 @@ MATCHING_ALGORITHMS = cli_names("matching")
 #: Exact oracles are exponential (MWIS) or cubic (Edmonds); cap where we
 #: compute reference optima by default.
 ORACLE_NODE_LIMIT = 60
+
+#: Self-describing marker of the ``--save-state`` file format: the
+#: facade's resume payload plus the workload recipe needed to rebuild
+#: the instance deterministically.
+RESUME_FILE_FORMAT = "repro-resume-file/1"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,15 +68,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def run_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--export", type=str, default=None,
+                       help="write the result row to a .csv/.json file")
+        p.add_argument("--skip-oracle", action="store_true",
+                       help="skip the exact-optimum comparison")
+        p.add_argument("--max-rounds", type=int, default=None,
+                       metavar="K",
+                       help="hard round budget: the run stops at K "
+                            "rounds with status=truncated instead of "
+                            "finishing (cumulative across resume hops)")
+        p.add_argument("--save-state", type=str, default=None,
+                       metavar="FILE",
+                       help="if the run truncates, persist its resume "
+                            "state to FILE (continue it with "
+                            "'python -m repro resume FILE')")
+        p.add_argument("--backend", choices=BACKENDS, default=None,
+                       help="simulator backend (default: object engine, "
+                            "or the REPRO_BACKEND environment variable; "
+                            "'array' vectorizes ported algorithms, "
+                            "bit-identical results)")
+
     def common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--nodes", type=int, default=40)
         p.add_argument("--edge-probability", type=float, default=0.12)
         p.add_argument("--max-weight", type=int, default=64)
         p.add_argument("--seed", type=int, default=0)
-        p.add_argument("--export", type=str, default=None,
-                       help="write the result row to a .csv/.json file")
-        p.add_argument("--skip-oracle", action="store_true",
-                       help="skip the exact-optimum comparison")
+        run_options(p)
 
     maxis = sub.add_parser("maxis", help="maximum weight independent set")
     maxis.add_argument("--algorithm", choices=MAXIS_ALGORITHMS,
@@ -72,6 +106,20 @@ def build_parser() -> argparse.ArgumentParser:
                           default="lines")
     matching.add_argument("--eps", type=float, default=0.5)
     common(matching)
+
+    resume = sub.add_parser(
+        "resume",
+        help="continue a truncated run from a --save-state file",
+        description="Warm-start a run persisted by --save-state: the "
+                    "workload is regenerated deterministically from the "
+                    "recipe in the file, and the algorithm continues "
+                    "from the captured checkpoint as if it had never "
+                    "stopped (--max-rounds extends the cumulative "
+                    "budget; omit it to run to completion).",
+    )
+    resume.add_argument("state", metavar="FILE",
+                        help="resume file written by --save-state")
+    run_options(resume)
 
     bench = sub.add_parser(
         "bench",
@@ -124,6 +172,54 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _instance_from_workload(workload: dict, args: argparse.Namespace):
+    """Rebuild the CLI's deterministic instance from a workload recipe."""
+
+    from dataclasses import replace
+
+    instance = random_instance(
+        workload["problem"],
+        n=workload["nodes"],
+        p=workload["edge_probability"],
+        max_weight=workload["max_weight"],
+        seed=workload["seed"],
+        eps=workload["eps"],
+        backend=args.backend,
+    )
+    if args.max_rounds is not None:
+        instance = replace(instance, max_rounds=args.max_rounds)
+    return instance
+
+
+def _oracle_wanted(workload: dict, args: argparse.Namespace) -> bool:
+    return not args.skip_oracle and (
+        workload["problem"] != "maxis"
+        or workload["nodes"] <= ORACLE_NODE_LIMIT
+    )
+
+
+def _save_state(path: str, workload: dict, report) -> None:
+    """Persist a truncated report's resume envelope (or explain why not)."""
+
+    if report.status != "truncated":
+        print(f"run completed; no state written to {path}")
+        return
+    if report.resume_state is None:
+        print("truncated run carries no resume state; nothing written",
+              file=sys.stderr)
+        return
+    envelope = {
+        "format": RESUME_FILE_FORMAT,
+        "workload": workload,
+        "payload": report.resume_state,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(envelope, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"resume state written to {path} "
+          f"(continue with: python -m repro resume {path})")
+
+
 def _run_problem(args: argparse.Namespace, problem: str) -> dict:
     """Run one registered algorithm on a generated workload.
 
@@ -133,19 +229,61 @@ def _run_problem(args: argparse.Namespace, problem: str) -> dict:
     per-algorithm dispatch bit-for-bit.
     """
 
-    instance = random_instance(
-        problem,
-        n=args.nodes,
-        p=args.edge_probability,
-        max_weight=args.max_weight,
-        seed=args.seed,
-        eps=getattr(args, "eps", 0.5),
-    )
+    workload = {
+        "problem": problem,
+        "nodes": args.nodes,
+        "edge_probability": args.edge_probability,
+        "max_weight": args.max_weight,
+        "seed": args.seed,
+        "eps": getattr(args, "eps", 0.5),
+    }
+    instance = _instance_from_workload(workload, args)
     report = solve(instance, args.algorithm, problem=problem)
-    oracle = not args.skip_oracle and (
-        problem != "maxis" or args.nodes <= ORACLE_NODE_LIMIT
-    )
-    return report.as_row(oracle=oracle)
+    if args.save_state is not None:
+        _save_state(args.save_state, workload, report)
+    return report.as_row(oracle=_oracle_wanted(workload, args))
+
+
+def _run_resume(args: argparse.Namespace) -> int:
+    """``python -m repro resume FILE``: warm-start a persisted run."""
+
+    from .api import resume as api_resume
+    from .errors import ResumeError
+
+    try:
+        with open(args.state, encoding="utf-8") as handle:
+            envelope = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"resume: cannot read state file {args.state!r}: {exc}",
+              file=sys.stderr)
+        return 1
+    if (not isinstance(envelope, dict)
+            or envelope.get("format") != RESUME_FILE_FORMAT
+            or not isinstance(envelope.get("workload"), dict)
+            or "payload" not in envelope):
+        print(f"resume: {args.state!r} is not a "
+              f"{RESUME_FILE_FORMAT!r} state file (write one with "
+              "--save-state)", file=sys.stderr)
+        return 1
+    workload = envelope["workload"]
+    try:
+        instance = _instance_from_workload(workload, args)
+        report = api_resume(envelope["payload"], instance=instance)
+    except (KeyError, TypeError) as exc:
+        print(f"resume: malformed workload recipe in {args.state!r}: "
+              f"{exc}", file=sys.stderr)
+        return 1
+    except ResumeError as exc:
+        print(f"resume: {exc}", file=sys.stderr)
+        return 1
+    if args.save_state is not None:
+        _save_state(args.save_state, workload, report)
+    row = report.as_row(oracle=_oracle_wanted(workload, args))
+    print(render_table([row]))
+    if args.export:
+        path = write_rows([row], args.export)
+        print(f"exported to {path}")
+    return 0
 
 
 def _run_bench(args: argparse.Namespace) -> int:
@@ -274,6 +412,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "resume":
+        return _run_resume(args)
     row = _run_problem(args, args.command)
     print(render_table([row]))
     if args.export:

@@ -188,7 +188,8 @@ def _iter_maxis_layers(instance: Instance, trace=None, resume_state=None):
            paper="Algorithm 2 (Thm 2.3)",
            guarantee="Δ-approx MWIS, O(MIS·log W) rounds",
            bound=lambda inst: float(max(1, inst.delta)),
-           weighted=True, tags=("paper",), run_iter=_iter_maxis_layers)
+           weighted=True, tags=("paper",), run_iter=_iter_maxis_layers,
+           array_kernel=True)
 def _run_maxis_layers(instance: Instance, trace=None) -> SolveReport:
     network = instance.network()
     result = maxis_local_ratio_layers(
@@ -241,7 +242,7 @@ def _iter_maxis_coloring(instance: Instance, coloring=None,
            guarantee="Δ-approx MWIS, O(Δ + log* n), deterministic",
            bound=lambda inst: float(max(1, inst.delta)),
            weighted=True, deterministic=True, tags=("paper",),
-           run_iter=_iter_maxis_coloring)
+           run_iter=_iter_maxis_coloring, array_kernel=True)
 def _run_maxis_coloring(instance: Instance, coloring=None) -> SolveReport:
     network = instance.network()
     result = maxis_local_ratio_coloring(
@@ -536,7 +537,7 @@ def _iter_proposal(instance: Instance, k=None, repetitions=None,
         instance.graph, eps=instance.eps, k=k, seed=instance.seed,
         repetitions=repetitions, max_rounds=instance.max_rounds,
         capture_state=instance.max_rounds is not None,
-        resume=resume_state,
+        resume=resume_state, backend=instance.backend,
     )
     last = (0, frozenset(), False, None)
     index = 0
@@ -564,12 +565,12 @@ def _iter_proposal(instance: Instance, k=None, repetitions=None,
            paper="Lemma B.14",
            guarantee="(2+ε)-approx MCM, proposal-based",
            bound=lambda inst: 2.0 + inst.eps, uses_eps=True,
-           tags=("paper",), run_iter=_iter_proposal)
+           tags=("paper",), run_iter=_iter_proposal, array_kernel=True)
 def _run_proposal(instance: Instance, k=None, repetitions=None
                   ) -> SolveReport:
     matching, rounds, ledger = general_proposal_matching(
         instance.graph, eps=instance.eps, k=k, seed=instance.seed,
-        repetitions=repetitions,
+        repetitions=repetitions, backend=instance.backend,
     )
     return _report(instance, matching, len(matching),
                    rounds, ledger=ledger)
@@ -613,7 +614,7 @@ def _iter_proposal_bipartite(instance: Instance, k=None, phases=None,
            guarantee="(2+ε)-approx MCM on bipartite instances",
            bound=lambda inst: 2.0 + inst.eps, uses_eps=True,
            requires_bipartite=True, tags=("paper",),
-           run_iter=_iter_proposal_bipartite)
+           run_iter=_iter_proposal_bipartite, array_kernel=True)
 def _run_proposal_bipartite(instance: Instance, k=None, phases=None
                             ) -> SolveReport:
     left, right = bipartite_sides(instance.graph)

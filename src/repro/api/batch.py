@@ -235,6 +235,7 @@ class BatchItem:
 
     @property
     def ok(self) -> bool:
+        """Whether the task produced a report (truncated counts as ok)."""
         return self.error is None
 
     @property
@@ -269,10 +270,12 @@ class BatchReport:
 
     @property
     def ok(self) -> List[BatchItem]:
+        """The successful items, in submission order."""
         return [item for item in self.items if item.ok]
 
     @property
     def failures(self) -> List[BatchItem]:
+        """Items whose task raised; crashing tasks never sink the batch."""
         return [item for item in self.items if not item.ok]
 
     @property
@@ -302,6 +305,7 @@ class BatchReport:
         return [item.seconds for item in self.items if item.ok]
 
     def trials_per_second(self) -> float:
+        """Successful-trial throughput over the batch wall-clock."""
         return len(self.ok) / self.elapsed if self.elapsed > 0 else 0.0
 
     def summary(self) -> Dict[str, object]:

@@ -15,7 +15,7 @@ from typing import Optional
 
 import networkx as nx
 
-from ..congest import SynchronousNetwork
+from ..congest import BACKENDS, SynchronousNetwork, make_network
 from ..errors import InvalidInstance
 from ..graphs import (
     assign_edge_weights,
@@ -60,6 +60,14 @@ class Instance:
         When true, simulator-backed algorithms raise
         :class:`~repro.errors.BandwidthViolation` on CONGEST overruns
         instead of recording them in the metrics.
+    backend:
+        Simulator engine: ``"object"`` (per-node programs),
+        ``"array"`` (vectorized round kernels; algorithms without a
+        kernel fall back to the object engine transparently), or
+        ``None`` meaning "consult the ``REPRO_BACKEND`` environment
+        variable, default object".  Results are bit-identical across
+        backends — the choice only affects execution speed — so the
+        backend does not participate in instance fingerprints.
     """
 
     graph: nx.Graph
@@ -69,6 +77,7 @@ class Instance:
     max_rounds: Optional[int] = None
     bandwidth_factor: int = 8
     strict: bool = False
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.model is not None and self.model not in MODELS:
@@ -77,14 +86,21 @@ class Instance:
             )
         if self.eps <= 0:
             raise InvalidInstance(f"eps must be positive, got {self.eps}")
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise InvalidInstance(
+                f"unknown backend {self.backend!r} "
+                f"(expected one of {BACKENDS})"
+            )
 
     # -- derived views -------------------------------------------------
     @property
     def n(self) -> int:
+        """Number of nodes in the instance graph."""
         return self.graph.number_of_nodes()
 
     @property
     def m(self) -> int:
+        """Number of edges in the instance graph."""
         return self.graph.number_of_edges()
 
     @property
@@ -99,14 +115,20 @@ class Instance:
         return replace(self, model=model)
 
     def network(self, model: Optional[str] = None) -> SynchronousNetwork:
-        """A fresh simulator for this instance (seeded, metered)."""
+        """A fresh simulator for this instance (seeded, metered).
 
-        return SynchronousNetwork(
+        The engine follows :attr:`backend`; with ``backend=None`` the
+        ``REPRO_BACKEND`` environment variable decides (object engine
+        by default).
+        """
+
+        return make_network(
             self.graph,
             model=model or self.model or CONGEST,
             seed=self.seed,
             bandwidth_factor=self.bandwidth_factor,
             strict=self.strict,
+            backend=self.backend,
         )
 
 
@@ -118,6 +140,7 @@ def random_instance(
     seed: int = 0,
     eps: float = 0.5,
     model: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> Instance:
     """A G(n, p) instance weighted for ``problem``, CLI-compatible.
 
@@ -135,7 +158,7 @@ def random_instance(
         assign_edge_weights(graph, max_weight, seed=seed + 1)
     else:
         raise InvalidInstance(f"unknown problem kind {problem!r}")
-    return Instance(graph, model=model, eps=eps, seed=seed + 2)
+    return Instance(graph, model=model, eps=eps, seed=seed + 2, backend=backend)
 
 
 __all__ = ["CONGEST", "Instance", "LOCAL", "MODELS", "random_instance"]

@@ -75,6 +75,19 @@ class AlgorithmSpec:
     requires_bipartite: bool = False
     models: Tuple[str, ...] = (CONGEST, LOCAL)
     tags: Tuple[str, ...] = ()
+    array_kernel: bool = False         # has a vectorized round kernel
+
+    @property
+    def backends(self) -> Tuple[str, ...]:
+        """Simulator backends this algorithm executes natively on.
+
+        Every algorithm runs on the object backend; entries with
+        :attr:`array_kernel` also run vectorized under
+        ``Instance(backend="array")`` (the rest fall back
+        transparently).
+        """
+
+        return ("object", "array") if self.array_kernel else ("object",)
 
     @property
     def anytime(self) -> str:
@@ -111,6 +124,9 @@ class AlgorithmSpec:
             "requires_bipartite": self.requires_bipartite,
             "models": list(self.models),
             "tags": list(self.tags),
+            # simulator backends with native support; algorithms
+            # without an array kernel fall back to "object" silently.
+            "backends": list(self.backends),
             # anytime capability: "phases" = real per-phase checkpoints,
             # "coarse" = begin/end adapter (still interruptible).
             "anytime": self.anytime,
@@ -126,6 +142,7 @@ _ALGORITHMS: Dict[str, AlgorithmSpec] = {}
 
 
 def register_algorithm(spec: AlgorithmSpec) -> AlgorithmSpec:
+    """Register ``spec`` under its name; duplicate names are an error."""
     if spec.name in _ALGORITHMS:
         raise ValueError(f"algorithm {spec.name!r} already registered")
     _ALGORITHMS[spec.name] = spec
@@ -161,6 +178,7 @@ def get_algorithm(name: str, problem: Optional[str] = None) -> AlgorithmSpec:
 
 
 def list_algorithms(problem: Optional[str] = None) -> List[AlgorithmSpec]:
+    """All registered specs sorted by name, optionally per problem."""
     return [
         _ALGORITHMS[name]
         for name in sorted(_ALGORITHMS)

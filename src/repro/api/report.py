@@ -91,6 +91,7 @@ class SolveReport:
     # -- derived views -------------------------------------------------
     @property
     def size(self) -> int:
+        """Cardinality of the solution (|IS| or |M|)."""
         return len(self.solution)
 
     def certify(self) -> "SolveReport":

@@ -6,9 +6,22 @@ Public API:
 * :class:`NodeProgram` / :class:`NodeContext` — per-node algorithm API,
 * :class:`RoundLedger` — round accounting for phase-composed algorithms,
 * :func:`line_graph` / :func:`run_on_line_graph` / :class:`CongestionAudit`
-  — Section 2.4 line-graph execution and congestion measurement.
+  — Section 2.4 line-graph execution and congestion measurement,
+* :class:`ArrayNetwork` / :func:`make_network` — the array-native
+  simulator backend (bit-compatible, numpy round kernels) and the
+  backend-selection factory (``REPRO_BACKEND`` env override).
 """
 
+from .array_network import (
+    ARRAY_BACKEND,
+    BACKEND_ENV,
+    BACKENDS,
+    OBJECT_BACKEND,
+    ArrayBackendUnsupported,
+    ArrayNetwork,
+    make_network,
+    resolve_backend,
+)
 from .ledger import RoundLedger
 from .linegraph import (
     CongestionAudit,
@@ -39,6 +52,14 @@ from .primitives import (
 from .recorder import ExecutionRecorder, RoundRecord
 
 __all__ = [
+    "ARRAY_BACKEND",
+    "ArrayBackendUnsupported",
+    "ArrayNetwork",
+    "BACKENDS",
+    "BACKEND_ENV",
+    "OBJECT_BACKEND",
+    "make_network",
+    "resolve_backend",
     "BfsTreeProgram",
     "CONGEST",
     "FloodProgram",

@@ -28,7 +28,12 @@ from typing import Dict, Hashable, Optional, Set
 
 import networkx as nx
 
-from ..congest import NodeContext, NodeProgram, SynchronousNetwork
+from ..congest import (
+    NodeContext,
+    NodeProgram,
+    SynchronousNetwork,
+    make_network,
+)
 from ..errors import InvalidInstance
 from ..graphs import check_independent_set, node_weight
 from ..mis.coloring import ColoringResult, delta_plus_one_coloring
@@ -175,7 +180,7 @@ def maxis_coloring_phases(
         coloring = delta_plus_one_coloring(graph)
     colors = coloring.colors
     if network is None:
-        network = SynchronousNetwork(graph, seed=0)
+        network = make_network(graph, seed=0)
     base = coloring.accounted_bek14_rounds
     if max_rounds is None:
         sim_cap = 20 * (coloring.palette + 2) + 4 * graph.number_of_nodes()
@@ -249,7 +254,7 @@ def maxis_local_ratio_coloring(
         coloring = delta_plus_one_coloring(graph)
     colors = coloring.colors
     if network is None:
-        network = SynchronousNetwork(graph, seed=0)
+        network = make_network(graph, seed=0)
     if max_rounds is None:
         # Removal needs at most one sweep per color; addition cascades at
         # most once per color class as well.  Generous constant on top.

@@ -25,7 +25,13 @@ from typing import Hashable, Optional, Set, Tuple
 
 import networkx as nx
 
-from ..congest import NodeContext, NodeProgram, RoundLedger, SynchronousNetwork
+from ..congest import (
+    NodeContext,
+    NodeProgram,
+    RoundLedger,
+    SynchronousNetwork,
+    make_network,
+)
 from ..errors import InvalidInstance
 from ..graphs import check_matching, max_degree
 from ..utils import stable_rng
@@ -157,6 +163,7 @@ def bipartite_proposal_phases(
     capture_state: bool = False,
     resume: Optional[dict] = None,
     snapshots: bool = True,
+    backend: Optional[str] = None,
 ):
     """Anytime Lemma B.13: one snapshot per propose/respond phase.
 
@@ -173,7 +180,9 @@ def bipartite_proposal_phases(
     ``snapshots=False`` is the fast-drain form the legacy entry point
     uses: no mid-run snapshots are yielded or paid for, and the
     matching is read off the final outputs instead — identical result,
-    zero per-phase bookkeeping.
+    zero per-phase bookkeeping.  ``backend`` picks the simulator engine
+    when ``network`` is not supplied (results are bit-identical either
+    way).
     """
 
     delta = max_degree(graph)
@@ -188,7 +197,7 @@ def bipartite_proposal_phases(
         k = resume["k"]
         phases = resume["phases"]
     if network is None:
-        network = SynchronousNetwork(graph, seed=seed)
+        network = make_network(graph, seed=seed, backend=backend)
     sides = {v: ("L" if v in left else "R") for v in graph.nodes}
     for u, v in graph.edges:
         if sides[u] == sides[v]:
@@ -265,6 +274,7 @@ def bipartite_proposal_matching(
     seed: int = 0,
     network: Optional[SynchronousNetwork] = None,
     phases: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> ProposalResult:
     """Lemma B.13's algorithm on a bipartite graph with given sides."""
 
@@ -272,7 +282,7 @@ def bipartite_proposal_matching(
 
     return drain(bipartite_proposal_phases(
         graph, left, right, eps=eps, k=k, seed=seed, network=network,
-        phases=phases, snapshots=False,
+        phases=phases, snapshots=False, backend=backend,
     ))
 
 
@@ -285,6 +295,7 @@ def general_proposal_phases(
     max_rounds: Optional[int] = None,
     capture_state: bool = False,
     resume: Optional[dict] = None,
+    backend: Optional[str] = None,
 ):
     """Anytime Lemma B.14: one snapshot per bipartition repetition.
 
@@ -358,7 +369,7 @@ def general_proposal_phases(
         if sub.number_of_edges() > 0:
             outcome = bipartite_proposal_matching(
                 sub, left, right, eps=eps, k=k,
-                seed=seed + 13 * (repetition + 1),
+                seed=seed + 13 * (repetition + 1), backend=backend,
             )
             ledger.charge(outcome.rounds, "bipartite-proposals")
             matching |= outcome.matching
@@ -375,6 +386,7 @@ def general_proposal_matching(
     k: Optional[int] = None,
     seed: int = 0,
     repetitions: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Tuple[Set[frozenset], int, RoundLedger]:
     """Lemma B.14: O(log 1/ε) random-bipartition repetitions.
 
@@ -387,4 +399,5 @@ def general_proposal_matching(
 
     return drain(general_proposal_phases(
         graph, eps=eps, k=k, seed=seed, repetitions=repetitions,
+        backend=backend,
     ))

@@ -27,6 +27,7 @@ from ..graphs import (
     power_law_graph,
     random_bipartite_graph,
     random_regular_graph,
+    sparse_gnp_graph,
     star_graph,
 )
 from ..mis import delta_plus_one_coloring
@@ -47,14 +48,17 @@ register_graph_family("power_law")(power_law_graph)
 register_graph_family("layered")(layered_graph)
 register_graph_family("random_bipartite")(random_bipartite_graph)
 register_graph_family("bipartite_regular")(bipartite_regular_graph)
+register_graph_family("sparse_gnp")(sparse_gnp_graph)
 
 
 @register_graph_family("layered_geometric")
-def _layered_geometric(layers: int, width: int = 6, seed: int = 1):
+def _layered_geometric(layers: int, width: int = 6, seed: int = 1,
+                       p: float = 1.0):
     """Layered chain with weight ``2^layer`` — the serializing workload
-    that realizes Algorithm 2's log W staircase."""
+    that realizes Algorithm 2's log W staircase.  ``p < 1`` keeps the
+    inter-layer bipartite edges sparse for the large perf workloads."""
 
-    g = layered_graph(layers, width, seed=seed)
+    g = layered_graph(layers, width, seed=seed, p=p)
     for v, data in g.nodes(data=True):
         g.nodes[v]["weight"] = 2 ** data["layer"]
     return g
@@ -108,6 +112,15 @@ def _gnp(n, p, seed, node_w=None, edge_w=None):
         spec["node_weights"] = node_w
     if edge_w:
         spec["edge_weights"] = edge_w
+    return spec
+
+
+def _sparse_gnp(n, p, seed, node_w=None):
+    """Large sparse G(n, p) via the O(n + m) geometric sampler."""
+
+    spec = {"family": "sparse_gnp", "args": {"n": n, "p": p, "seed": seed}}
+    if node_w:
+        spec["node_weights"] = node_w
     return spec
 
 
@@ -1398,6 +1411,17 @@ def _perf_recorded_check(*keys):
     return fn
 
 
+def _backend_agreement_check(rows):
+    """The array backend must compute exactly what the object one did."""
+
+    for row in rows:
+        for key in ("objective", "rounds", "bits"):
+            assert row[key] == row[f"array_{key}"], (
+                f"array backend computed a different {key} "
+                f"({row[f'array_{key}']} vs {row[key]})"
+            )
+
+
 PERF = register_experiment(ExperimentSpec(
     name="perf",
     title="PERF: batch-engine and simulator wall-clock tracking",
@@ -1456,6 +1480,51 @@ PERF = register_experiment(ExperimentSpec(
                     _perf_recorded_check(
                         "p50_seconds", "p95_seconds", "rounds_per_sec",
                         "messages_per_sec", "cache_hit_rate",
+                    ),
+                ),
+            ),
+        ),
+        Section(
+            name="backend_scaling",
+            title="PERF-c: object vs array simulator backend "
+                  "(Algorithm 2; sparse G(n, 6/n) curve up to n=10^5, "
+                  "plus the serializing layered workload at n=10^5)",
+            measurement="backend_perf",
+            grid=(
+                {"graph": _sparse_gnp(1_000, 0.006, 1,
+                                      node_w={"max_weight": 4096,
+                                              "scheme": "log-uniform",
+                                              "seed": 2}),
+                 "repeats": 3, "algorithm": "maxis-layers"},
+                {"graph": _sparse_gnp(10_000, 0.0006, 1,
+                                      node_w={"max_weight": 4096,
+                                              "scheme": "log-uniform",
+                                              "seed": 2}),
+                 "repeats": 3, "algorithm": "maxis-layers"},
+                {"graph": _sparse_gnp(100_000, 0.00006, 1,
+                                      node_w={"max_weight": 4096,
+                                              "scheme": "log-uniform",
+                                              "seed": 2}),
+                 "repeats": 3, "algorithm": "maxis-layers"},
+                # The log W staircase workload: every layer stays an
+                # actor (broadcasting each cycle) until the top layer
+                # retires, so the object backend pays python per
+                # message on every edge every round — the regime the
+                # array backend exists for.
+                {"graph": {"family": "layered_geometric",
+                           "args": {"layers": 40, "width": 2500,
+                                    "seed": 1, "p": 0.006}},
+                 "repeats": 3, "algorithm": "maxis-layers"},
+            ),
+            seeds=(0,),
+            checks=(
+                _rows_check("array_matches_object",
+                            _backend_agreement_check),
+                _rows_check(
+                    "timing_recorded",
+                    _perf_recorded_check(
+                        "object_p50_seconds", "array_p50_seconds",
+                        "speedup",
                     ),
                 ),
             ),

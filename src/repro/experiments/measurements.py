@@ -614,6 +614,71 @@ def _simulator_perf(graph, seed, algorithm="maxis-layers", repeats=5,
     }, report.metrics
 
 
+@register_measurement("backend_perf")
+def _backend_perf(graph, seed, algorithm="maxis-layers", repeats=1):
+    """Object vs array simulator backend on one workload.
+
+    Times the simulator itself — network construction plus protocol
+    run, no facade layers — ``repeats`` times per backend and records
+    p50 seconds for both plus the object/array speedup.  The
+    deterministic outputs (objective, rounds, bits) are recorded per
+    backend so a check can assert the array engine computed exactly
+    what the object engine did; they are bit-identical by contract.
+    """
+
+    import time as _time
+
+    from ..congest import make_network
+    from .runner import percentile
+
+    def run(backend):
+        net = make_network(graph, seed=seed, backend=backend)
+        if algorithm == "maxis-layers":
+            from ..core.maxis_layers import maxis_local_ratio_layers
+
+            res = maxis_local_ratio_layers(graph, network=net)
+        elif algorithm == "maxis-coloring":
+            from ..core.maxis_coloring import maxis_local_ratio_coloring
+
+            res = maxis_local_ratio_coloring(graph, network=net)
+        else:
+            raise ValueError(
+                f"backend_perf cannot time {algorithm!r}; it needs an "
+                "algorithm that runs on one injected network"
+            )
+        return res.weight, res.rounds, net.metrics.bits
+
+    timing = {}
+    outputs = {}
+    for backend in ("object", "array"):
+        samples = []
+        for _ in range(repeats):
+            started = _time.perf_counter()
+            outputs[backend] = run(backend)
+            samples.append(_time.perf_counter() - started)
+        timing[backend] = percentile(samples, 50.0)
+    object_p50, array_p50 = timing["object"], timing["array"]
+    weight, rounds, bits = outputs["object"]
+    array_weight, array_rounds, array_bits = outputs["array"]
+    measures = {
+        "algorithm": algorithm,
+        "repeats": repeats,
+        "n": graph.number_of_nodes(),
+        "edges": graph.number_of_edges(),
+        "object_p50_seconds": object_p50,
+        "array_p50_seconds": array_p50,
+        "speedup": object_p50 / array_p50 if array_p50 > 0 else 0.0,
+        # deterministic agreement fingerprint (object vs array):
+        "objective": weight,
+        "array_objective": array_weight,
+        "rounds": rounds,
+        "array_rounds": array_rounds,
+        "bits": bits,
+        "array_bits": array_bits,
+    }
+    return measures, None
+
+
 # ----------------------------------------------------------------------
 # Simulator micro-benchmark (CI smoke / perf tracking)
 # ----------------------------------------------------------------------

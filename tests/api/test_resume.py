@@ -286,6 +286,111 @@ class TestMultiHop:
 
 
 # ----------------------------------------------------------------------
+# the backend axis: array-kernel runs honor the same contract
+# ----------------------------------------------------------------------
+#: Registry entries with a vectorized kernel (PR-6 tentpole): the whole
+#: resume contract must hold with the array backend on either side of
+#: the truncation, and produce the object backend's bits exactly.
+ARRAY_PORTED = (
+    "maxis-layers",
+    "maxis-coloring",
+    "matching-proposal",
+    "matching-proposal-bipartite",
+)
+
+BACKEND_AXIS = [("array", "array"), ("object", "array"),
+                ("array", "object")]
+
+
+class TestBackendAxis:
+    def test_ported_set_matches_the_registry(self):
+        ported = sorted(s.name for s in list_algorithms() if s.array_kernel)
+        assert ported == sorted(ARRAY_PORTED)
+
+    @pytest.mark.parametrize("truncate_on,resume_on", BACKEND_AXIS)
+    @pytest.mark.parametrize("name", ARRAY_PORTED)
+    def test_truncate_and_resume_across_backends(
+            self, name, truncate_on, resume_on,
+            general_graph, bipartite_graph, unbounded):
+        # The resume payload is backend-agnostic: a checkpoint captured
+        # on either engine continues bit-for-bit on the other, and both
+        # reproduce the object backend's unbounded run.
+        spec = next(s for s in list_algorithms() if s.name == name)
+        full = unbounded[name]
+        if full.rounds < 2:
+            pytest.skip(f"{name} has no interior stop point")
+        base = instance_for(spec, general_graph, bipartite_graph)
+        k = full.rounds // 2
+        truncated = solve(
+            replace(base, max_rounds=k, backend=truncate_on), name
+        )
+        assert truncated.status == TRUNCATED, (name, truncate_on)
+        resumed = resume(truncated,
+                         instance=replace(base, backend=resume_on))
+        assert_equals_unbounded(resumed, full, (name, truncate_on,
+                                                resume_on))
+
+    @pytest.mark.parametrize("name", ARRAY_PORTED)
+    def test_max_rounds_zero_on_array_backend(
+            self, name, general_graph, bipartite_graph, unbounded):
+        spec = next(s for s in list_algorithms() if s.name == name)
+        full = unbounded[name]
+        base = instance_for(spec, general_graph, bipartite_graph,
+                            backend="array")
+        truncated = solve(replace(base, max_rounds=0), name)
+        assert truncated.status == TRUNCATED
+        assert truncated.rounds == 0
+        resumed = resume(truncated, instance=base)
+        assert_equals_unbounded(resumed, full, (name, "k=0"))
+
+    @pytest.mark.parametrize("name", ["maxis-layers", "maxis-coloring"])
+    def test_degenerate_graphs_agree_across_backends(self, name):
+        import networkx as nx
+
+        empty = nx.Graph()
+        isolated = nx.Graph()
+        isolated.add_nodes_from(range(5))
+        single = nx.Graph([(0, 1)])
+        single.nodes[0]["weight"] = 9
+        single.nodes[1]["weight"] = 2
+        for graph in (empty, isolated, single):
+            obj = solve(Instance(graph, seed=SEED), name)
+            arr = solve(Instance(graph, seed=SEED, backend="array"), name)
+            assert arr.solution == obj.solution
+            assert arr.objective == obj.objective
+            assert arr.rounds == obj.rounds
+
+    def test_metrics_continue_across_a_backend_switch(self, general_graph,
+                                                      unbounded):
+        # Cumulative traffic accounting survives truncating on the
+        # array engine and finishing on the object engine.
+        full = unbounded["maxis-layers"]
+        base = Instance(general_graph, seed=SEED, eps=EPS)
+        k = full.rounds // 2
+        truncated = solve(
+            replace(base, max_rounds=k, backend="array"), "maxis-layers"
+        )
+        resumed = resume(truncated, instance=base)
+        assert resumed.metrics.bits == full.metrics.bits
+        assert resumed.metrics.messages == full.metrics.messages
+        assert resumed.metrics.rounds == full.metrics.rounds
+
+    def test_backend_does_not_change_the_fingerprint(self, general_graph,
+                                                     unbounded):
+        # Deliberate: results are bit-identical across backends, so a
+        # payload captured under backend="array" resumes under the
+        # default instance without a ResumeMismatch.
+        full = unbounded["maxis-layers"]
+        base = Instance(general_graph, seed=SEED, eps=EPS)
+        truncated = solve(
+            replace(base, max_rounds=full.rounds // 2, backend="array"),
+            "maxis-layers",
+        )
+        resumed = resume(truncated, instance=base)  # backend omitted
+        assert_equals_unbounded(resumed, full, "fingerprint")
+
+
+# ----------------------------------------------------------------------
 # error paths (typed)
 # ----------------------------------------------------------------------
 class TestErrorPaths:

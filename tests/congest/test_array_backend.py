@@ -1,0 +1,466 @@
+"""The array-native simulator backend: **bit-compatible or fall back**.
+
+The contract this suite pins (the PR-6 tentpole):
+
+* for every ported program (Algorithm 2 layers, Algorithm 3 coloring,
+  the Lemma B.13 proposal matcher) the array backend reproduces the
+  object backend bit-for-bit — same outputs, same round count, and the
+  *exact* same :class:`~repro.congest.NetworkMetrics` (messages, bits,
+  max bits/edge/round, violations, round breakdown);
+* edge cases hold: no edges, isolated vertices, a single edge,
+  ``max_rounds=0``, and mid-run truncation + resume (including resuming
+  an object-backend checkpoint on the array backend and vice versa —
+  the ``resume_state`` payload format is backend-agnostic);
+* everything the kernels do not cover falls back to the object engine
+  transparently (unported programs, ``participants=``, strict mode,
+  oversized weights, …) instead of diverging or crashing;
+* backend selection plumbing works: ``make_network``, the
+  ``REPRO_BACKEND`` environment variable, ``Instance(backend=...)``
+  validation, and the registry's ``backends`` capability column.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.congest import (
+    ARRAY_BACKEND,
+    BACKEND_ENV,
+    OBJECT_BACKEND,
+    ArrayNetwork,
+    IdleProgram,
+    SynchronousNetwork,
+    make_network,
+    resolve_backend,
+)
+from repro.congest import array_kernels
+from repro.core import maxis_coloring, maxis_layers, proposal_matching
+from repro.core.maxis_coloring import MaxISColoringProgram
+from repro.core.maxis_layers import LayerTrace, MaxISLayersProgram
+from repro.core.proposal_matching import ProposalProgram
+from repro.errors import InvalidInstance, SimulationError
+from repro.graphs import assign_node_weights, gnp_graph
+from repro.mis.coloring import delta_plus_one_coloring
+from repro.utils import drain
+
+
+def layers_factory(graph, trace=None):
+    def factory(node):
+        return MaxISLayersProgram(graph.nodes[node].get("weight", 1), trace)
+
+    return factory
+
+
+def coloring_factory(graph):
+    colors = delta_plus_one_coloring(graph).colors
+
+    def factory(node):
+        return MaxISColoringProgram(
+            weight=graph.nodes[node].get("weight", 1),
+            color=colors[node],
+            neighbor_colors={u: colors[u] for u in graph.neighbors(node)},
+        )
+
+    return factory
+
+
+def proposal_factory(graph, phases=6):
+    sides = {v: ("L" if v % 2 == 0 else "R") for v in graph.nodes}
+
+    def factory(node):
+        return ProposalProgram(sides[node], phases)
+
+    return factory
+
+
+def bipartite_graph(nl, nr, p, seed):
+    """Bipartite test graph with even/odd node ids encoding the sides."""
+
+    raw = nx.bipartite.random_graph(nl, nr, p, seed=seed)
+    relabel = {}
+    left = sorted(v for v, d in raw.nodes(data=True) if d["bipartite"] == 0)
+    right = sorted(v for v in raw.nodes if v not in set(left))
+    for i, v in enumerate(left):
+        relabel[v] = 2 * i
+    for i, v in enumerate(right):
+        relabel[v] = 2 * i + 1
+    return nx.relabel_nodes(raw, relabel)
+
+
+def weighted_gnp(n, p, seed, max_weight=256):
+    g = gnp_graph(n, p, seed=seed)
+    assign_node_weights(g, max_weight, scheme="log-uniform", seed=seed + 1)
+    return g
+
+
+def metrics_tuple(network):
+    m = network.metrics
+    return (m.rounds, m.messages, m.bits, m.max_bits_per_edge_round,
+            m.violations, dict(m.round_breakdown))
+
+
+def run_both(graph, factory_of, seed=0, max_rounds=10_000, **run_kwargs):
+    """Run one program on both backends; return the two (result, metrics)."""
+
+    out = []
+    for backend in (OBJECT_BACKEND, ARRAY_BACKEND):
+        network = make_network(graph, seed=seed, backend=backend)
+        result = drain(network.run_stepwise(
+            factory_of(graph), max_rounds=max_rounds, **run_kwargs
+        ))
+        out.append((result, metrics_tuple(network)))
+    return out
+
+
+def assert_bit_identical(graph, factory_of, seed=0, **run_kwargs):
+    (obj, obj_m), (arr, arr_m) = run_both(
+        graph, factory_of, seed=seed, **run_kwargs
+    )
+    assert arr.outputs == obj.outputs
+    assert arr.rounds == obj.rounds
+    assert arr.completed == obj.completed
+    assert arr_m == obj_m
+    return obj, arr
+
+
+# ----------------------------------------------------------------------
+# bit-compatibility on real workloads
+# ----------------------------------------------------------------------
+class TestKernelParity:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_maxis_layers(self, seed):
+        graph = weighted_gnp(90, 0.06, seed=seed)
+        assert_bit_identical(graph, layers_factory, seed=seed,
+                             label="maxis-layers")
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_maxis_coloring(self, seed):
+        graph = weighted_gnp(80, 0.07, seed=seed)
+        assert_bit_identical(graph, coloring_factory, label="maxis-coloring")
+
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_proposal(self, seed):
+        graph = bipartite_graph(25, 30, 0.15, seed=seed)
+        assert_bit_identical(graph, proposal_factory, seed=seed,
+                             label="proposal-matching")
+
+    def test_layer_trace_is_shared_and_identical(self):
+        graph = weighted_gnp(60, 0.08, seed=3)
+        traces = {}
+        for backend in (OBJECT_BACKEND, ARRAY_BACKEND):
+            trace = LayerTrace()
+            network = make_network(graph, seed=0, backend=backend)
+            drain(network.run_stepwise(
+                layers_factory(graph, trace), max_rounds=10_000
+            ))
+            traces[backend] = trace
+        assert (traces[ARRAY_BACKEND].occupancy
+                == traces[OBJECT_BACKEND].occupancy)
+
+    def test_core_entry_points_accept_backend(self):
+        graph = weighted_gnp(70, 0.07, seed=4)
+        obj = maxis_layers.maxis_local_ratio_layers(graph, seed=2)
+        net = make_network(graph, seed=2, backend=ARRAY_BACKEND)
+        arr = maxis_layers.maxis_local_ratio_layers(graph, seed=2,
+                                                    network=net)
+        assert arr.independent_set == obj.independent_set
+        assert arr.rounds == obj.rounds
+        assert arr.weight == obj.weight
+
+    def test_general_proposal_backend_kwarg(self):
+        graph = gnp_graph(50, 0.09, seed=11)
+        obj = proposal_matching.general_proposal_matching(graph, seed=3)
+        arr = proposal_matching.general_proposal_matching(
+            graph, seed=3, backend=ARRAY_BACKEND
+        )
+        assert arr[0] == obj[0]
+        assert arr[1] == obj[1]
+        assert arr[2].breakdown == obj[2].breakdown
+
+
+# ----------------------------------------------------------------------
+# edge cases (the satellite checklist)
+# ----------------------------------------------------------------------
+class TestEdgeCases:
+    def test_empty_graph_falls_back_cleanly(self):
+        graph = nx.Graph()
+        network = make_network(graph, backend=ARRAY_BACKEND)
+        result = drain(network.run_stepwise(layers_factory(graph)))
+        assert result.outputs == {}
+        assert result.completed
+
+    def test_edgeless_graph(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(7))
+        for factory_of in (layers_factory, coloring_factory,
+                           proposal_factory):
+            assert_bit_identical(graph, factory_of)
+
+    def test_isolated_vertices_mixed_with_a_component(self):
+        graph = weighted_gnp(40, 0.1, seed=6)
+        graph.add_nodes_from(range(1000, 1010))  # isolated, weight 1
+        assert_bit_identical(graph, layers_factory, seed=6)
+        assert_bit_identical(graph, coloring_factory)
+
+    def test_single_edge(self):
+        graph = nx.Graph([(0, 1)])
+        graph.nodes[0]["weight"] = 5
+        graph.nodes[1]["weight"] = 3
+        obj, _arr = assert_bit_identical(graph, layers_factory)
+        assert sorted(obj.outputs.values()) == ["InIS", "NotInIS"]
+        assert_bit_identical(graph, coloring_factory)
+        assert_bit_identical(graph, proposal_factory)
+
+    def test_max_rounds_zero_truncates_before_any_round(self):
+        graph = weighted_gnp(30, 0.1, seed=7)
+        for backend in (OBJECT_BACKEND, ARRAY_BACKEND):
+            network = make_network(graph, backend=backend)
+            result = drain(network.run_stepwise(
+                layers_factory(graph), max_rounds=0, stop_on_limit=True,
+                capture_state=True, checkpoint_every=1,
+            ))
+            assert not result.completed
+            assert result.rounds == 0
+            assert network.metrics.messages == 0
+
+    def test_self_loop_graph_matches_object_backend(self):
+        graph = nx.Graph([(0, 1), (1, 1)])
+        assert_bit_identical(graph, layers_factory)
+
+
+# ----------------------------------------------------------------------
+# truncation + resume across backends
+# ----------------------------------------------------------------------
+def drain_with_state(stepper):
+    """Drain a stepwise run; return ``(result, final snapshot state)``."""
+
+    state = None
+    while True:
+        try:
+            snapshot = next(stepper)
+        except StopIteration as stop:
+            return stop.value, state
+        if snapshot.state is not None:
+            state = snapshot.state
+
+
+def truncate_then_resume(graph, factory_of, cut, first, second,
+                         label="maxis-layers", seed=0):
+    """Truncate at ``cut`` rounds on ``first``, resume on ``second``."""
+
+    reference = make_network(graph, seed=seed, backend=OBJECT_BACKEND)
+    full = drain(reference.run_stepwise(
+        factory_of(graph), max_rounds=10_000, label=label
+    ))
+    if cut >= full.rounds:
+        pytest.skip(f"run finishes in {full.rounds} rounds; cut={cut} "
+                    f"is not interior")
+    head_net = make_network(graph, seed=seed, backend=first)
+    head, state = drain_with_state(head_net.run_stepwise(
+        factory_of(graph), max_rounds=cut, label=label,
+        stop_on_limit=True, capture_state=True, checkpoint_every=1,
+    ))
+    assert not head.completed
+    assert state is not None
+    tail_net = make_network(graph, seed=seed, backend=second)
+    tail = drain(tail_net.run_stepwise(
+        factory_of(graph), max_rounds=10_000, label=label,
+        resume_state=state,
+    ))
+    assert tail.outputs == full.outputs
+    assert tail.rounds == full.rounds
+    assert metrics_tuple(tail_net) == metrics_tuple(reference)
+
+
+class TestTruncateAndResume:
+    BACKEND_PAIRS = [
+        (ARRAY_BACKEND, ARRAY_BACKEND),
+        (OBJECT_BACKEND, ARRAY_BACKEND),
+        (ARRAY_BACKEND, OBJECT_BACKEND),
+    ]
+
+    @pytest.mark.parametrize("first,second", BACKEND_PAIRS)
+    @pytest.mark.parametrize("cut", [1, 3, 7])
+    def test_layers(self, first, second, cut):
+        graph = weighted_gnp(70, 0.07, seed=8)
+        truncate_then_resume(graph, layers_factory, cut, first, second)
+
+    @pytest.mark.parametrize("first,second", BACKEND_PAIRS)
+    @pytest.mark.parametrize("cut", [1, 2, 3])
+    def test_coloring(self, first, second, cut):
+        graph = weighted_gnp(60, 0.08, seed=9)
+        truncate_then_resume(graph, coloring_factory, cut, first, second,
+                             label="maxis-coloring")
+
+    @pytest.mark.parametrize("first,second", BACKEND_PAIRS)
+    @pytest.mark.parametrize("cut", [2, 5])
+    def test_proposal(self, first, second, cut):
+        graph = bipartite_graph(20, 24, 0.18, seed=10)
+        truncate_then_resume(graph, proposal_factory, cut, first, second,
+                             label="proposal-matching", seed=3)
+
+    def test_resume_missing_node_raises_like_object_backend(self):
+        # A payload that lacks a live node's state is a hard error on
+        # both backends, not a silent fallback.
+        graph = weighted_gnp(30, 0.1, seed=12)
+        net = make_network(graph, backend=ARRAY_BACKEND)
+        _head, state = drain_with_state(net.run_stepwise(
+            layers_factory(graph), max_rounds=2, stop_on_limit=True,
+            capture_state=True, checkpoint_every=1,
+        ))
+        missing = next(iter(state["live"]))
+        del state["live"][missing]
+        for backend in (OBJECT_BACKEND, ARRAY_BACKEND):
+            fresh = make_network(graph, backend=backend)
+            with pytest.raises(SimulationError,
+                               match="knows nothing about"):
+                drain(fresh.run_stepwise(layers_factory(graph),
+                                         resume_state=state))
+
+
+# ----------------------------------------------------------------------
+# transparent fallback
+# ----------------------------------------------------------------------
+class TestFallback:
+    def test_unported_program_runs_on_object_engine(self):
+        graph = gnp_graph(12, 0.3, seed=13)
+        network = make_network(graph, backend=ARRAY_BACKEND)
+        result = drain(network.run_stepwise(lambda node: IdleProgram(),
+                                            quiescence_halts=True))
+        assert result.completed
+
+    def test_participants_subset_falls_back(self):
+        graph = weighted_gnp(20, 0.2, seed=14)
+        sub = sorted(graph.nodes)[:10]
+        arr = make_network(graph, backend=ARRAY_BACKEND)
+        obj = make_network(graph, backend=OBJECT_BACKEND)
+        a = drain(arr.run_stepwise(layers_factory(graph), participants=sub))
+        b = drain(obj.run_stepwise(layers_factory(graph), participants=sub))
+        assert a.outputs == b.outputs
+        assert metrics_tuple(arr) == metrics_tuple(obj)
+
+    def test_huge_weights_fall_back_bit_identically(self):
+        graph = gnp_graph(16, 0.3, seed=15)
+        for node in graph.nodes:
+            graph.nodes[node]["weight"] = (1 << 80) + node
+        assert_bit_identical(graph, layers_factory)
+
+    def test_strict_mode_falls_back(self):
+        graph = weighted_gnp(20, 0.2, seed=16)
+        network = make_network(graph, backend=ARRAY_BACKEND, strict=True)
+        result = drain(network.run_stepwise(layers_factory(graph)))
+        assert result.completed
+
+    def test_fallback_preserves_protocol_round_labels(self):
+        # A fallback must not double-charge the per-protocol round
+        # breakdown: one run, one label entry.
+        graph = gnp_graph(10, 0.4, seed=17)
+        for node in graph.nodes:
+            graph.nodes[node]["weight"] = 1 << 90  # forces fallback
+        network = make_network(graph, backend=ARRAY_BACKEND)
+        drain(network.run_stepwise(layers_factory(graph), label="one"))
+        assert set(network.metrics.round_breakdown) == {"one"}
+
+
+# ----------------------------------------------------------------------
+# selection plumbing and pinned constants
+# ----------------------------------------------------------------------
+class TestSelection:
+    def test_make_network_types(self, monkeypatch):
+        # Pin the built-in default: clear any REPRO_BACKEND override
+        # (CI deliberately runs the whole suite under =array).
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        graph = nx.path_graph(4)
+        assert isinstance(make_network(graph), SynchronousNetwork)
+        assert not isinstance(make_network(graph), ArrayNetwork)
+        assert isinstance(make_network(graph, backend=ARRAY_BACKEND),
+                          ArrayNetwork)
+
+    def test_env_variable_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, ARRAY_BACKEND)
+        assert resolve_backend(None) == ARRAY_BACKEND
+        assert isinstance(make_network(nx.path_graph(3)), ArrayNetwork)
+        monkeypatch.setenv(BACKEND_ENV, OBJECT_BACKEND)
+        assert resolve_backend(None) == OBJECT_BACKEND
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(InvalidInstance):
+            resolve_backend("gpu")
+
+    def test_instance_backend_validation(self):
+        from repro.api import Instance
+
+        with pytest.raises(InvalidInstance):
+            Instance(nx.path_graph(3), backend="gpu")
+        inst = Instance(nx.path_graph(3), backend=ARRAY_BACKEND)
+        assert isinstance(inst.network(), ArrayNetwork)
+
+    def test_registry_surfaces_backend_capability(self):
+        from repro.api import list_algorithms
+
+        by_name = {s.name: s for s in list_algorithms()}
+        for name in ("maxis-layers", "maxis-coloring", "matching-proposal",
+                     "matching-proposal-bipartite"):
+            assert by_name[name].backends == ("object", "array"), name
+            assert by_name[name].describe()["backends"] == [
+                "object", "array"
+            ]
+        assert by_name["mis-luby"].backends == ("object",)
+
+    def test_kernel_constants_match_the_programs(self):
+        # The kernels re-state the program output literals locally (to
+        # stay import-light); this pins them to the real definitions.
+        assert array_kernels.IN_IS == maxis_layers.IN_IS
+        assert array_kernels.NOT_IN_IS == maxis_layers.NOT_IN_IS
+        assert array_kernels.IN_IS == maxis_coloring.IN_IS
+        assert array_kernels.ACTIVE == MaxISLayersProgram.ACTIVE
+        assert array_kernels.CANDIDATE == MaxISLayersProgram.CANDIDATE
+        assert array_kernels.ACTIVE == MaxISColoringProgram.ACTIVE
+        assert array_kernels.CANDIDATE == MaxISColoringProgram.CANDIDATE
+        assert array_kernels.MATCHED == proposal_matching.MATCHED
+        assert array_kernels.UNLUCKY == proposal_matching.UNLUCKY
+        assert array_kernels.ISOLATED == proposal_matching.ISOLATED
+
+    def test_csr_cache_shared_and_invalidated(self):
+        # Networks over the same graph object share one compiled CSR;
+        # an in-place topology edit (changed degree sequence) triggers
+        # a recompile instead of serving the stale structure.
+        graph = gnp_graph(14, 0.3, seed=8)
+        first = make_network(graph, seed=1, backend=ARRAY_BACKEND)
+        second = make_network(graph, seed=2, backend=ARRAY_BACKEND)
+        assert first._ensure_csr() is second._ensure_csr()
+
+        baseline = drain(first.run_stepwise(layers_factory(graph)))
+        graph.add_edge(0, len(graph) + 5)  # new node + edge
+        third = make_network(graph, seed=1, backend=ARRAY_BACKEND)
+        csr = third._ensure_csr()
+        assert csr is not first._ensure_csr()
+        assert csr.n == graph.number_of_nodes()
+        # and the recompiled network still matches the object backend
+        mirror = make_network(graph, seed=1, backend=OBJECT_BACKEND)
+        array_result = drain(third.run_stepwise(layers_factory(graph)))
+        object_result = drain(mirror.run_stepwise(layers_factory(graph)))
+        assert array_result.outputs == object_result.outputs
+        assert baseline.outputs  # the pre-mutation run stays intact
+
+    def test_kernel_rng_matches_stable_rng(self):
+        # ArrayKernel.rng seeds through the C base class (skipping the
+        # random.Random.seed python wrapper) for speed; the stream must
+        # stay bit-identical to utils.stable_rng(seed, node, proto).
+        from repro.utils import stable_rng
+
+        graph = gnp_graph(12, 0.3, seed=5)
+        network = make_network(graph, seed=9, backend=ARRAY_BACKEND)
+        csr = network._ensure_csr()
+        kernel = array_kernels.MaxISLayersKernel(
+            network, csr,
+            [MaxISLayersProgram(graph.nodes[v].get("weight", 1))
+             for v in csr.nodes],
+        )
+        kernel.bind(proto=2)
+        for i, node in enumerate(csr.nodes):
+            reference = stable_rng(9, node, 2)
+            fast = kernel.rng(i)
+            assert fast.getstate() == reference.getstate()
+            assert [fast.random() for _ in range(3)] == [
+                reference.random() for _ in range(3)
+            ]

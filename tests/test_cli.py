@@ -76,3 +76,65 @@ class TestMatching:
     def test_unknown_algorithm_rejected(self):
         with pytest.raises(SystemExit):
             main(["matching", "--algorithm", "bogus"])
+
+
+class TestResumeVerb:
+    def uncut_weight(self, capsys):
+        main(["maxis", "--nodes", "60", "--seed", "5", "--skip-oracle"])
+        row = capsys.readouterr().out.splitlines()[-1].split()
+        return row
+
+    def test_truncate_save_resume_round_trip(self, tmp_path, capsys):
+        full_row = self.uncut_weight(capsys)
+        state = tmp_path / "cp.json"
+        code = main(["maxis", "--nodes", "60", "--seed", "5",
+                     "--skip-oracle", "--max-rounds", "4",
+                     "--save-state", str(state)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "truncated" in out
+        assert state.exists()
+        envelope = json.loads(state.read_text())
+        assert envelope["format"] == "repro-resume-file/1"
+        assert envelope["workload"]["nodes"] == 60
+        code = main(["resume", str(state), "--skip-oracle"])
+        assert code == 0
+        resumed_row = capsys.readouterr().out.splitlines()[-1].split()
+        assert resumed_row == full_row
+
+    def test_multi_hop_with_backend_switch(self, tmp_path, capsys):
+        full_row = self.uncut_weight(capsys)
+        state = tmp_path / "cp.json"
+        main(["maxis", "--nodes", "60", "--seed", "5", "--skip-oracle",
+              "--max-rounds", "3", "--save-state", str(state),
+              "--backend", "array"])
+        capsys.readouterr()
+        code = main(["resume", str(state), "--skip-oracle",
+                     "--max-rounds", "6", "--save-state", str(state)])
+        assert code == 0
+        assert "truncated" in capsys.readouterr().out
+        code = main(["resume", str(state), "--skip-oracle",
+                     "--backend", "array"])
+        assert code == 0
+        resumed_row = capsys.readouterr().out.splitlines()[-1].split()
+        assert resumed_row == full_row
+
+    def test_completed_run_saves_nothing(self, tmp_path, capsys):
+        state = tmp_path / "cp.json"
+        main(["maxis", "--nodes", "14", "--skip-oracle",
+              "--save-state", str(state)])
+        assert "no state written" in capsys.readouterr().out
+        assert not state.exists()
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        code = main(["resume", str(tmp_path / "nope.json")])
+        assert code == 1
+        assert "cannot read state file" in capsys.readouterr().err
+
+    def test_malformed_file_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"format": "bogus"}))
+        code = main(["resume", str(bad)])
+        assert code == 1
+        assert "not a 'repro-resume-file/1' state file" in \
+            capsys.readouterr().err
