@@ -1,0 +1,17 @@
+"""Experiment SERVE — solver-service load (throughput/latency/SLA).
+
+The ``serve_load`` experiment in :mod:`repro.experiments.catalog`
+drives the ``python -m repro serve`` job manager in-process: a mixed
+job batch per worker count records throughput and the service's
+p50/p95 latency, and a round-budget sweep records the truncated-vs-
+complete ratio.  Like ``perf`` it is deliberately non-byte-
+deterministic: CI records its ``BENCH_serve.json`` artifact and gates
+only the schema plus the deterministic agreement checks (every
+objective the service returns equals the direct facade solve).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.bench import experiment_bench
+
+test_serve = experiment_bench("serve_load")

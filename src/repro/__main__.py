@@ -5,6 +5,8 @@ Commands
 ``maxis``     run a MaxIS algorithm on a generated workload
 ``matching``  run a matching algorithm on a generated workload
 ``resume``    continue a truncated run from a ``--save-state`` file
+``serve``     run the long-lived solver service (HTTP job daemon with
+              SLA budgets, checkpoint streaming, crash-safe resume)
 ``bench``     run a registered experiment and emit a JSON artifact
 ``info``      print the library's algorithm inventory (``--json`` for
               the machine-readable :mod:`repro.api` registry)
@@ -44,7 +46,13 @@ import sys
 from typing import List, Optional
 
 from .analysis import render_artifact, render_table, write_rows
-from .api import cli_names, list_algorithms, random_instance, solve
+from .api import cli_names, list_algorithms, solve
+from .api.persist import (
+    RESUME_FILE_FORMAT,
+    instance_from_workload,
+    resume_envelope,
+    write_envelope,
+)
 from .congest import BACKENDS
 
 MAXIS_ALGORITHMS = cli_names("maxis")
@@ -53,11 +61,6 @@ MATCHING_ALGORITHMS = cli_names("matching")
 #: Exact oracles are exponential (MWIS) or cubic (Edmonds); cap where we
 #: compute reference optima by default.
 ORACLE_NODE_LIMIT = 60
-
-#: Self-describing marker of the ``--save-state`` file format: the
-#: facade's resume payload plus the workload recipe needed to rebuild
-#: the instance deterministically.
-RESUME_FILE_FORMAT = "repro-resume-file/1"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -169,26 +172,43 @@ def build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser("info", help="print the algorithm inventory")
     info.add_argument("--json", action="store_true", dest="json_registry",
                       help="emit the machine-readable algorithm registry")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived solver service (HTTP job daemon)",
+        description="Async HTTP daemon over the anytime/resume stack: "
+                    "POST /jobs submits a workload spec (optionally "
+                    "with max_rounds / time_budget_s SLA budgets), "
+                    "GET /jobs/<id> polls the latest checkpoint, "
+                    "GET /jobs/<id>/stream follows per-phase progress, "
+                    "and --state-dir journals every checkpoint so a "
+                    "killed daemon restarts bit-identically.",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="bind port (default 8765; 0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="solver worker threads (default 2)")
+    serve.add_argument("--state-dir", default=None, metavar="DIR",
+                       help="journal directory for crash-safe resume "
+                            "(no persistence when omitted)")
+    serve.add_argument("--cache-size", type=int, default=128,
+                       metavar="N",
+                       help="result-cache capacity (default 128; "
+                            "0 disables caching)")
+    serve.add_argument("--phase-delay", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="sleep after every checkpoint (test knob "
+                            "for interruption scenarios; default 0)")
     return parser
 
 
 def _instance_from_workload(workload: dict, args: argparse.Namespace):
     """Rebuild the CLI's deterministic instance from a workload recipe."""
 
-    from dataclasses import replace
-
-    instance = random_instance(
-        workload["problem"],
-        n=workload["nodes"],
-        p=workload["edge_probability"],
-        max_weight=workload["max_weight"],
-        seed=workload["seed"],
-        eps=workload["eps"],
-        backend=args.backend,
-    )
-    if args.max_rounds is not None:
-        instance = replace(instance, max_rounds=args.max_rounds)
-    return instance
+    return instance_from_workload(workload, backend=args.backend,
+                                  max_rounds=args.max_rounds)
 
 
 def _oracle_wanted(workload: dict, args: argparse.Namespace) -> bool:
@@ -208,14 +228,7 @@ def _save_state(path: str, workload: dict, report) -> None:
         print("truncated run carries no resume state; nothing written",
               file=sys.stderr)
         return
-    envelope = {
-        "format": RESUME_FILE_FORMAT,
-        "workload": workload,
-        "payload": report.resume_state,
-    }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(envelope, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    write_envelope(path, resume_envelope(workload, report.resume_state))
     print(f"resume state written to {path} "
           f"(continue with: python -m repro resume {path})")
 
@@ -247,35 +260,17 @@ def _run_problem(args: argparse.Namespace, problem: str) -> dict:
 def _run_resume(args: argparse.Namespace) -> int:
     """``python -m repro resume FILE``: warm-start a persisted run."""
 
-    from .api import resume as api_resume
+    from .api.persist import load_envelope, resume_envelope_report
     from .errors import ResumeError
 
     try:
-        with open(args.state, encoding="utf-8") as handle:
-            envelope = json.load(handle)
-    except (OSError, ValueError) as exc:
-        print(f"resume: cannot read state file {args.state!r}: {exc}",
-              file=sys.stderr)
-        return 1
-    if (not isinstance(envelope, dict)
-            or envelope.get("format") != RESUME_FILE_FORMAT
-            or not isinstance(envelope.get("workload"), dict)
-            or "payload" not in envelope):
-        print(f"resume: {args.state!r} is not a "
-              f"{RESUME_FILE_FORMAT!r} state file (write one with "
-              "--save-state)", file=sys.stderr)
-        return 1
-    workload = envelope["workload"]
-    try:
-        instance = _instance_from_workload(workload, args)
-        report = api_resume(envelope["payload"], instance=instance)
-    except (KeyError, TypeError) as exc:
-        print(f"resume: malformed workload recipe in {args.state!r}: "
-              f"{exc}", file=sys.stderr)
-        return 1
+        envelope = load_envelope(args.state)
+        report = resume_envelope_report(envelope, backend=args.backend,
+                                        max_rounds=args.max_rounds)
     except ResumeError as exc:
         print(f"resume: {exc}", file=sys.stderr)
         return 1
+    workload = envelope["workload"]
     if args.save_state is not None:
         _save_state(args.save_state, workload, report)
     row = report.as_row(oracle=_oracle_wanted(workload, args))
@@ -414,6 +409,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_bench(args)
     if args.command == "resume":
         return _run_resume(args)
+    if args.command == "serve":
+        from .serve import main as serve_main
+
+        return serve_main(args)
     row = _run_problem(args, args.command)
     print(render_table([row]))
     if args.export:

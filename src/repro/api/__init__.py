@@ -57,6 +57,15 @@ from .batch import (
 from ..errors import NotResumable, ResumeError, ResumeMismatch
 from .facade import RESUME_VERSION, resume, resume_iter, solve, solve_iter
 from .instance import CONGEST, LOCAL, MODELS, Instance, random_instance
+from .persist import (
+    RESUME_FILE_FORMAT,
+    instance_from_workload,
+    load_envelope,
+    resume_envelope,
+    resume_envelope_report,
+    workload_recipe,
+    write_envelope,
+)
 from .serialize import from_jsonable, to_jsonable
 from .registry import (
     AlgorithmSpec,
@@ -84,6 +93,7 @@ __all__ = [
     "LOCAL",
     "MODELS",
     "NotResumable",
+    "RESUME_FILE_FORMAT",
     "RESUME_VERSION",
     "ResumeError",
     "ResumeMismatch",
@@ -98,14 +108,20 @@ __all__ = [
     "from_jsonable",
     "get_algorithm",
     "instance_fingerprint",
+    "instance_from_workload",
     "list_algorithms",
+    "load_envelope",
     "random_instance",
     "register_algorithm",
     "registry_as_json",
     "resume",
+    "resume_envelope",
+    "resume_envelope_report",
     "resume_iter",
     "solve",
     "solve_iter",
     "solve_many",
     "to_jsonable",
+    "workload_recipe",
+    "write_envelope",
 ]

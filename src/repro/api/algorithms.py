@@ -436,16 +436,20 @@ def _run_oneeps_local(instance: Instance, k: float = 2.0,
 
 def _iter_oneeps_congest(instance: Instance, k: float = 2.0,
                          failure_delta=None, stages=None,
-                         max_iterations=None, resume_state=None):
+                         max_iterations=None, resume_state=None,
+                         notify_wave: bool = False):
     """Anytime Theorem B.12: one checkpoint per bipartition stage;
-    stops cooperatively before any stage past ``max_rounds``."""
+    stops cooperatively before any stage past ``max_rounds``.
+    ``notify_wave=True`` adds the simulator-backed waiting-phase probe
+    wave at every stage boundary (rounds ledgered, matching
+    untouched)."""
 
     phases = congest_matching_1eps_stages(
         instance.graph, eps=instance.eps, seed=instance.seed, k=k,
         failure_delta=failure_delta, stages=stages,
         max_iterations=max_iterations, max_rounds=instance.max_rounds,
         capture_state=instance.max_rounds is not None,
-        resume=resume_state,
+        resume=resume_state, notify_wave=notify_wave,
     )
     result, last = yield from _checkpoint_matching_phases(phases, "stage")
     if result is None:
@@ -465,11 +469,12 @@ def _iter_oneeps_congest(instance: Instance, k: float = 2.0,
            run_iter=_iter_oneeps_congest)
 def _run_oneeps_congest(instance: Instance, k: float = 2.0,
                         failure_delta=None, stages=None,
-                        max_iterations=None) -> SolveReport:
+                        max_iterations=None,
+                        notify_wave: bool = False) -> SolveReport:
     result = congest_matching_1eps(
         instance.graph, eps=instance.eps, seed=instance.seed, k=k,
         failure_delta=failure_delta, stages=stages,
-        max_iterations=max_iterations,
+        max_iterations=max_iterations, notify_wave=notify_wave,
     )
     return _report(instance, result.matching,
                    result.cardinality, result.rounds, ledger=result.ledger,

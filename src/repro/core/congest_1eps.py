@@ -516,6 +516,7 @@ def congest_matching_1eps_stages(
     max_rounds: Optional[int] = None,
     capture_state: bool = False,
     resume: Optional[dict] = None,
+    notify_wave: bool = False,
 ):
     """Anytime Theorem B.12: one snapshot per bipartition stage.
 
@@ -535,6 +536,16 @@ def congest_matching_1eps_stages(
     snapshot, including the stage-coloring RNG state; ``resume=``
     restores it, so the continuation draws the exact red/blue colors
     the uncut run would have drawn.
+
+    ``notify_wave=True`` runs Appendix B.3's waiting-phase probe wave
+    (:func:`waiting_phase_wave`) on the message-passing simulator after
+    every stage: free nodes flood a depth-``L`` probe so matched
+    waiters parked on the wake list learn the stage boundary passed.
+    The wave's rounds are charged to the ledger under
+    ``"waiting-wave"`` (so budgets and snapshots account for it) and
+    the matching itself is untouched; the option is pinned into resume
+    payloads like every other stage parameter.  Default off — the
+    historical round accounting is bit-identical.
     """
 
     if eps <= 0:
@@ -568,11 +579,20 @@ def congest_matching_1eps_stages(
         failure_delta = resume["options"]["failure_delta"]
         stages = resume["options"]["stages"]
         max_iterations = resume["options"]["max_iterations"]
+        # Pre-wave payloads carry no wave flag; they resume wave-less.
+        notify_wave = resume["options"].get("notify_wave", False)
 
     def snapshot(next_stage):
         state = None
         if capture_state:
             version, internals, gauss = rng.getstate()
+            options = {"k": k, "failure_delta": failure_delta,
+                       "stages": stages,
+                       "max_iterations": max_iterations}
+            if notify_wave:
+                # Written only when on: payloads of wave-less runs stay
+                # byte-identical to the historical layout.
+                options["notify_wave"] = True
             state = {
                 "rounds": ledger.total,
                 "next_stage": next_stage,
@@ -583,14 +603,15 @@ def congest_matching_1eps_stages(
                 "ledger": {"total": ledger.total,
                            "breakdown": dict(ledger.breakdown)},
                 "rng": [version, list(internals), gauss],
-                "options": {"k": k, "failure_delta": failure_delta,
-                            "stages": stages,
-                            "max_iterations": max_iterations},
+                "options": options,
             }
-        return ledger.total, frozenset(matching), {
+        extras = {
             "deactivated": set(deactivated),
             "stages": executed,
-        }, state
+        }
+        if notify_wave:
+            extras["notify_waves"] = executed
+        return ledger.total, frozenset(matching), extras, state
 
     yield snapshot(start_stage)
     for stage in range(start_stage, stages):
@@ -639,6 +660,16 @@ def congest_matching_1eps_stages(
         matching = (matching - stage_matching) | new_stage_matching
         deactivated |= new_deactivated
         check_matching(graph, [tuple(e) for e in matching])
+        if notify_wave:
+            # Stage-boundary notification: free nodes flood a probe of
+            # depth L so every waiter parked on the wake list observes
+            # that the stage completed.  Read-only on the matching;
+            # only the round ledger (and hence budgets) sees it.
+            wave = waiting_phase_wave(
+                graph, matching, d=max_length,
+                seed=seed + 7919 * stage + 3571, park=True,
+            )
+            ledger.charge(wave.rounds, "waiting-wave")
         if len(matching) == before:
             from .augmenting import shortest_augmenting_path_length
 
@@ -673,6 +704,7 @@ def congest_matching_1eps(
     failure_delta: Optional[float] = None,
     stages: Optional[int] = None,
     max_iterations: Optional[int] = None,
+    notify_wave: bool = False,
 ) -> CongestOneEpsResult:
     """Theorem B.12: (1+ε)-approximate MCM in general graphs (CONGEST).
 
@@ -680,7 +712,9 @@ def congest_matching_1eps(
     bipartite subgraph keeps unmatched nodes and bichromatically-matched
     nodes, so stage augmenting paths are global augmenting paths.  Stops
     early when a stage leaves the matching unchanged and no short
-    augmenting path survives among active nodes.
+    augmenting path survives among active nodes.  ``notify_wave=True``
+    runs the simulator-backed waiting-phase probe wave after every
+    stage (see :func:`congest_matching_1eps_stages`).
     """
 
     from ..utils import drain
@@ -688,6 +722,7 @@ def congest_matching_1eps(
     return drain(congest_matching_1eps_stages(
         graph, eps=eps, seed=seed, k=k, failure_delta=failure_delta,
         stages=stages, max_iterations=max_iterations,
+        notify_wave=notify_wave,
     ))
 
 

@@ -1534,6 +1534,111 @@ PERF = register_experiment(ExperimentSpec(
 
 
 # ======================================================================
+# serve_load — solver-service throughput/latency under concurrency
+# ======================================================================
+# Timing values are recorded (BENCH_serve.json), never gated — like
+# `perf`, this experiment is exempt from the byte-determinism contract.
+# The deterministic *content* is still gated: every objective the
+# service returns must equal the direct facade solve of the same spec.
+def _serve_agreement_check(rows):
+    for row in rows:
+        assert row["failed"] == 0, f"{row['failed']} service jobs failed"
+        assert row["objective_total"] == row["direct_objective_total"], (
+            "service computed different objectives than solve() "
+            f"({row['objective_total']} vs "
+            f"{row['direct_objective_total']})"
+        )
+
+
+def _serve_cache_check(rows):
+    for row in rows:
+        assert row["cache_hits"] == 2, (
+            f"expected exactly the 2 resubmissions to hit the cache, "
+            f"got {row['cache_hits']}"
+        )
+
+
+def _serve_truncation_check(rows):
+    """Rows sweep a loosening round budget: the truncated share must
+    fall monotonically from all-truncated toward none."""
+
+    ratios = [row["truncated_ratio"] for row in rows]
+    for ratio in ratios:
+        assert 0.0 <= ratio <= 1.0, f"ratio {ratio} out of range"
+    assert ratios == sorted(ratios, reverse=True), (
+        f"truncated ratio must not grow with budget: {ratios}"
+    )
+    assert ratios[0] > ratios[-1], (
+        f"budget sweep never changed the truncated share: {ratios}"
+    )
+
+
+SERVE_LOAD = register_experiment(ExperimentSpec(
+    name="serve_load",
+    title="SERVE: solver-service throughput, latency and SLA truncation",
+    description=(
+        "Drives the python -m repro serve job manager in-process: a "
+        "mixed batch of jobs per worker count records throughput and "
+        "the service's p50/p95 latency (BENCH_serve.json, recorded "
+        "like perf, never gated on timing), and a round-budget sweep "
+        "records the truncated-vs-complete ratio.  The deterministic "
+        "content is gated: every service objective must equal the "
+        "direct facade solve."
+    ),
+    tags=("serve", "perf", "timing", "nondeterministic"),
+    sections=(
+        Section(
+            name="throughput",
+            title="SERVE-a: throughput and latency vs worker count "
+                  "(12 mixed jobs + 2 cache resubmissions, n=40)",
+            measurement="serve_load",
+            grid=(
+                {"workers": 1, "jobs": 12, "budget_every": 3,
+                 "budget_rounds": 8, "resubmit": 2},
+                {"workers": 2, "jobs": 12, "budget_every": 3,
+                 "budget_rounds": 8, "resubmit": 2},
+                {"workers": 4, "jobs": 12, "budget_every": 3,
+                 "budget_rounds": 8, "resubmit": 2},
+            ),
+            seeds=(0,),
+            checks=(
+                _rows_check("serve_matches_direct",
+                            _serve_agreement_check),
+                _rows_check("cache_hits_deterministic",
+                            _serve_cache_check),
+                _rows_check(
+                    "timing_recorded",
+                    _perf_recorded_check("jobs_per_sec", "p50_ms",
+                                         "p95_ms"),
+                ),
+            ),
+        ),
+        Section(
+            name="sla_truncation",
+            title="SERVE-b: truncated-vs-complete ratio under a "
+                  "loosening round budget (10 budgeted jobs, n=40)",
+            measurement="serve_load",
+            grid=(
+                {"workers": 2, "jobs": 10, "budget_every": 1,
+                 "budget_rounds": 6},
+                {"workers": 2, "jobs": 10, "budget_every": 1,
+                 "budget_rounds": 10},
+                {"workers": 2, "jobs": 10, "budget_every": 1,
+                 "budget_rounds": 1000},
+            ),
+            seeds=(0,),
+            checks=(
+                _rows_check("serve_matches_direct",
+                            _serve_agreement_check),
+                _rows_check("truncation_sweeps_down",
+                            _serve_truncation_check),
+            ),
+        ),
+    ),
+))
+
+
+# ======================================================================
 # smoke — the CI gate (tiny grid, recorded bounds, pinned counters)
 # ======================================================================
 #: Recorded regression bounds for the smoke workloads.  These are NOT

@@ -704,3 +704,101 @@ def _simulator_microbench(graph, seed, model="CONGEST"):
         "is_weight": report.objective,
         "n": graph.number_of_nodes(),
     }, report.metrics
+
+
+# ----------------------------------------------------------------------
+# Solver-service load adapter (the `serve_load` experiment — NON-
+# deterministic timing, deterministic content)
+# ----------------------------------------------------------------------
+@register_measurement("serve_load")
+def _serve_load(graph, seed, problem="maxis", algorithm="maxis-layers",
+                nodes=40, jobs=12, workers=2, budget_every=0,
+                budget_rounds=8, resubmit=0):
+    """Drive an in-process solver service under a mixed job batch.
+
+    Boots a :class:`repro.serve.jobs.JobManager` with ``workers``
+    concurrent workers, submits ``jobs`` distinct workloads (every
+    ``budget_every``-th one round-budgeted to ``budget_rounds`` so it
+    truncates), waits for the batch, then resubmits the first workload
+    ``resubmit`` times to exercise the result cache.  Records
+    throughput, the service's own p50/p95 latency, the truncated-vs-
+    complete split and cache counters — wall-clock numbers for
+    ``BENCH_serve.json`` (recorded, never gated) — plus the
+    deterministic objective totals against direct facade solves, which
+    a check *does* gate on: the service must compute exactly what
+    ``solve()`` computes.
+    """
+
+    import time as _time
+
+    from ..api import solve
+    from ..api.persist import instance_from_workload
+    from ..serve.jobs import JobManager
+    from ..serve.protocol import spec_cache_key
+
+    specs = []
+    for i in range(jobs):
+        spec = {
+            "workload": {"problem": problem, "nodes": nodes,
+                         "seed": seed + i},
+            "algorithm": algorithm,
+        }
+        if budget_every and i % budget_every == budget_every - 1:
+            spec["max_rounds"] = budget_rounds
+        specs.append(spec)
+
+    manager = JobManager(workers=workers)
+    manager.start()
+    try:
+        started = _time.perf_counter()
+        submitted = [manager.submit(spec) for spec in specs]
+        while not all(job.done for job in submitted):
+            _time.sleep(0.002)
+        # Resubmissions land after the originals are terminal, so every
+        # one is a deterministic cache hit.
+        repeats = [manager.submit(dict(specs[0])) for _ in range(resubmit)]
+        while not all(job.done for job in repeats):
+            _time.sleep(0.002)
+        elapsed = _time.perf_counter() - started
+        submitted += repeats
+        stats = manager.stats()
+    finally:
+        manager.shutdown(wait=True)
+
+    # Deterministic agreement fingerprint: one direct facade solve per
+    # unique spec, summed over the submission list like the service's
+    # objectives (cache hits reuse the direct value by construction).
+    direct: dict = {}
+    serve_total = direct_total = 0
+    for job in submitted:
+        key = spec_cache_key(job.spec)
+        if key not in direct:
+            instance = instance_from_workload(
+                job.spec["workload"], max_rounds=job.spec["max_rounds"],
+            )
+            direct[key] = solve(instance, algorithm).objective
+        serve_total += job.result["objective"] if job.result else 0
+        direct_total += direct[key]
+
+    by_status = stats["jobs"]["by_status"]
+    total = len(submitted)
+    return {
+        "workers": workers,
+        "jobs": total,
+        "algorithm": algorithm,
+        "n": nodes,
+        "elapsed_seconds": elapsed,
+        "jobs_per_sec": total / elapsed if elapsed > 0 else 0.0,
+        "p50_ms": stats["latency"]["p50_ms"],
+        "p95_ms": stats["latency"]["p95_ms"],
+        "complete": by_status["complete"],
+        "truncated": by_status["truncated"],
+        "failed": by_status["failed"],
+        "truncated_ratio": by_status["truncated"] / total,
+        "cache_hits": stats["cache"]["hits"],
+        "cache_hit_rate": stats["cache"]["hit_rate"],
+        "rounds_total": stats["rounds_total"],
+        # deterministic agreement fingerprint (service vs facade):
+        "objective_total": serve_total,
+        "direct_objective_total": direct_total,
+    }, None

@@ -1,0 +1,43 @@
+"""``repro.serve`` — the long-lived solver service (NUM-2).
+
+An asyncio HTTP daemon over the anytime/resume stack, started with
+``python -m repro serve``.  Clients submit an instance *spec* (the
+same deterministic workload recipe the CLI uses) plus optional SLA
+budgets and get a job id back; jobs execute on a thread pool through
+the shared batch engine (:func:`repro.api.execute_indexed`), stream
+per-phase checkpoints, land in a fingerprint-keyed LRU result cache,
+and journal their latest ``resume_state`` to ``--state-dir`` so a
+killed daemon restarts and finishes **bit-identically** to a run that
+was never interrupted.
+
+Module map:
+
+* :mod:`~repro.serve.cache` — bounded LRU result cache with hit/miss
+  counters;
+* :mod:`~repro.serve.journal` — crash-safe per-job journal files
+  (atomic writes via :func:`repro.api.persist.write_envelope`);
+* :mod:`~repro.serve.protocol` — request validation and JSON record
+  shapes (specs in, job/result records out);
+* :mod:`~repro.serve.jobs` — the job manager: queue, worker pool,
+  budget enforcement, checkpoint capture, recovery;
+* :mod:`~repro.serve.http` — the minimal stdlib HTTP/1.1 layer
+  (``asyncio.start_server``) and route table;
+* :mod:`~repro.serve.daemon` — configuration, startup recovery and
+  the ``serve`` CLI entry point.
+"""
+
+from .cache import ResultCache
+from .daemon import ServerConfig, main, run_server
+from .jobs import Job, JobManager
+from .protocol import SpecError, validate_spec
+
+__all__ = [
+    "Job",
+    "JobManager",
+    "ResultCache",
+    "ServerConfig",
+    "SpecError",
+    "main",
+    "run_server",
+    "validate_spec",
+]

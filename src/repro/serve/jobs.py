@@ -1,0 +1,438 @@
+"""The solver service's job manager.
+
+Lifecycle (the state machine ``docs/ARCHITECTURE.md`` documents)::
+
+    submit ──cache hit──────────────► complete/truncated  (terminal)
+      │
+      └─► queued ─► running ─┬─► complete   (terminal)
+             ▲               ├─► truncated  (terminal: round or wall
+             │               │               budget exhausted; best
+             │               │               certified partial result)
+             │               └─► failed     (terminal)
+             │
+        (restart recovery: journaled non-terminal jobs re-enter the
+         queue, warm-started from their last journaled checkpoint)
+
+Execution fans out through the shared batch engine: a dispatcher
+thread drains the submission queue into batches and runs each batch
+via :func:`repro.api.execute_indexed` over one long-lived
+``ThreadPoolExecutor`` — the same fan-out core the experiment runner
+and ``solve_many`` use, with its per-task failure isolation.  Each
+task drives :func:`repro.api.solve_iter` so the job streams per-phase
+checkpoints, journals every captured ``resume_state`` (crash safety),
+and can stop at a wall-clock deadline with the best certified partial
+solution (SLA truncation).
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..api import execute_indexed, solve_iter
+from ..api.persist import instance_from_workload
+from .cache import ResultCache
+from .journal import TERMINAL_STATUSES, Journal, job_record
+from .protocol import (
+    result_record,
+    spec_cache_key,
+    truncated_result_record,
+    validate_spec,
+)
+
+QUEUED = "queued"
+RUNNING = "running"
+COMPLETE = "complete"
+TRUNCATED = "truncated"
+FAILED = "failed"
+STATUSES = (QUEUED, RUNNING, COMPLETE, TRUNCATED, FAILED)
+
+
+@dataclass
+class Job:
+    """One submitted solve and everything observable about it."""
+
+    id: str
+    spec: Dict[str, Any]
+    status: str = QUEUED
+    checkpoints: int = 0
+    rounds: int = 0
+    latest: Optional[Dict[str, Any]] = None
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    cache_hit: bool = False
+    recovered: bool = False
+    seconds: Optional[float] = None
+    #: Warm-start payload a recovered job continues from (not exposed).
+    warm_payload: Optional[Dict[str, Any]] = field(default=None,
+                                                  repr=False)
+
+    @property
+    def done(self) -> bool:
+        return self.status in TERMINAL_STATUSES
+
+    def record(self, include_result: bool = True) -> Dict[str, Any]:
+        """The job as the HTTP layer reports it."""
+
+        out: Dict[str, Any] = {
+            "id": self.id,
+            "status": self.status,
+            "spec": self.spec,
+            "checkpoints": self.checkpoints,
+            "rounds": self.rounds,
+            "latest": self.latest,
+            "error": self.error,
+            "cache_hit": self.cache_hit,
+            "recovered": self.recovered,
+        }
+        if include_result:
+            out["result"] = self.result
+        return out
+
+
+def _checkpoint_record(checkpoint) -> Dict[str, Any]:
+    """The poll/stream view of one checkpoint (payload included, so a
+    client can persist its own resume file at any boundary)."""
+
+    return {
+        "phase": checkpoint.phase,
+        "rounds": checkpoint.rounds,
+        "objective": checkpoint.objective,
+        "valid": checkpoint.valid,
+        "final": checkpoint.final,
+        "resume": checkpoint.resume_state,
+    }
+
+
+class JobManager:
+    """Queue, worker pool, cache, journal and observability counters."""
+
+    def __init__(self, workers: int = 2,
+                 state_dir: Optional[str] = None,
+                 cache_size: int = 128,
+                 phase_delay_s: float = 0.0):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        #: Test/experiment knob: sleep this long after every checkpoint
+        #: so kill-mid-solve scenarios can aim between phases.
+        self.phase_delay_s = phase_delay_s
+        self.cache = ResultCache(maxsize=cache_size)
+        self.journal = Journal(state_dir)
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._lock = threading.RLock()
+        self._inbox: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._stop = threading.Event()
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._dispatcher: Optional[threading.Thread] = None
+        self._batches = 0
+        self._latencies: List[float] = []
+        self._seq = itertools.count(1)
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        """Spin up the worker pool and dispatcher (idempotent)."""
+
+        if self._pool is not None:
+            return
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve",
+        )
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatch",
+            daemon=True,
+        )
+        self._dispatcher.start()
+
+    def shutdown(self, wait: bool = False) -> None:
+        """Stop dispatching; optionally wait for in-flight jobs."""
+
+        self._stop.set()
+        self._inbox.put(None)
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=5)
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait)
+
+    # -- recovery ------------------------------------------------------
+    def recover(self) -> Dict[str, int]:
+        """Replay the journal into the manager (call before
+        :meth:`start`).
+
+        Terminal records re-register as finished jobs and re-seed the
+        result cache; non-terminal records re-enter the queue, warm-
+        started from their last journaled checkpoint when one was
+        captured (otherwise the deterministic cold rerun *is* the
+        uninterrupted run).  Returns ``{"restored": n, "requeued": m}``.
+        """
+
+        restored = requeued = 0
+        max_seq = 0
+        with self._lock:
+            for job_id, record in self.journal.replay():
+                try:
+                    seq = int(job_id.split("-")[1])
+                except (IndexError, ValueError):
+                    seq = 0
+                max_seq = max(max_seq, seq)
+                job = Job(id=job_id, spec=record["spec"],
+                          status=record["status"],
+                          rounds=record.get("rounds", 0),
+                          result=record.get("result"),
+                          error=record.get("error"),
+                          recovered=True)
+                self._jobs[job_id] = job
+                self._order.append(job_id)
+                if job.done:
+                    deterministic = (
+                        job.result is not None
+                        and not (job.result.get("status") == TRUNCATED
+                                 and job.spec.get("time_budget_s")
+                                 is not None)
+                    )
+                    if deterministic:
+                        self.cache.put(spec_cache_key(job.spec),
+                                       job.result)
+                    restored += 1
+                    continue
+                envelope = record.get("envelope")
+                if isinstance(envelope, dict):
+                    job.warm_payload = envelope.get("payload")
+                job.status = QUEUED
+                self._inbox.put(job_id)
+                requeued += 1
+            self._seq = itertools.count(max_seq + 1)
+        return {"restored": restored, "requeued": requeued}
+
+    # -- submission ----------------------------------------------------
+    def submit(self, body: Any) -> Job:
+        """Validate a spec and enqueue (or instantly serve) its job.
+
+        Raises :class:`~repro.serve.protocol.SpecError` on a bad spec.
+        A result-cache hit never queues: the job is born terminal with
+        the cached record.
+        """
+
+        spec = validate_spec(body)
+        key = spec_cache_key(spec)
+        cached = self.cache.get(key)
+        with self._lock:
+            job_id = f"job-{next(self._seq):06d}-{key.split(':')[0]}"
+            job = Job(id=job_id, spec=spec)
+            self._jobs[job_id] = job
+            self._order.append(job_id)
+            if cached is not None:
+                job.status = cached["status"]
+                job.result = cached
+                job.rounds = cached["rounds"]
+                job.cache_hit = True
+                job.seconds = 0.0
+                self._journal_terminal(job)
+                return job
+            self._journal_running(job, payload=None)
+        self._inbox.put(job_id)
+        return job
+
+    # -- views ---------------------------------------------------------
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return [self._jobs[job_id] for job_id in self._order]
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``GET /stats`` payload (and the load experiment's raw
+        material): job/queue/cache/latency/round counters."""
+
+        from ..experiments.runner import percentile
+
+        with self._lock:
+            by_status = {status: 0 for status in STATUSES}
+            rounds = checkpoints = 0
+            for job in self._jobs.values():
+                by_status[job.status] = by_status.get(job.status, 0) + 1
+                rounds += job.rounds
+                checkpoints += job.checkpoints
+            latencies = list(self._latencies)
+            batches = self._batches
+            total = len(self._jobs)
+        latency = {"count": len(latencies), "p50_ms": 0.0, "p95_ms": 0.0}
+        if latencies:
+            latency["p50_ms"] = percentile(latencies, 50.0) * 1000.0
+            latency["p95_ms"] = percentile(latencies, 95.0) * 1000.0
+        return {
+            "jobs": {"total": total, "by_status": by_status},
+            "queue_depth": by_status[QUEUED],
+            "batches_active": batches,
+            "workers": self.workers,
+            "cache": self.cache.stats(),
+            "latency": latency,
+            "rounds_total": rounds,
+            "checkpoints_total": checkpoints,
+        }
+
+    # -- journaling ----------------------------------------------------
+    def _journal_running(self, job: Job,
+                         payload: Optional[Dict[str, Any]]) -> None:
+        self.journal.write(job_record(
+            job.id, job.spec, job.status, rounds=job.rounds,
+            payload=payload,
+        ))
+
+    def _journal_terminal(self, job: Job) -> None:
+        payload = None
+        if job.result is not None:
+            payload = job.result.get("resume")
+        self.journal.write(job_record(
+            job.id, job.spec, job.status, rounds=job.rounds,
+            payload=payload, result=job.result, error=job.error,
+        ))
+
+    # -- dispatch ------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        """Drain submissions into batches; each batch fans out through
+        :func:`execute_indexed` on the shared pool (its own thread, so
+        a slow batch never blocks the next one)."""
+
+        while not self._stop.is_set():
+            try:
+                first = self._inbox.get(timeout=0.05)
+            except queue.Empty:
+                continue
+            if first is None:
+                break
+            batch = [first]
+            while True:
+                try:
+                    item = self._inbox.get_nowait()
+                except queue.Empty:
+                    break
+                if item is None:
+                    self._stop.set()
+                    break
+                batch.append(item)
+            with self._lock:
+                self._batches += 1
+            threading.Thread(
+                target=self._run_batch, args=(batch,),
+                name="repro-serve-batch", daemon=True,
+            ).start()
+
+    def _run_batch(self, batch: List[str]) -> None:
+        try:
+            execute_indexed(self._execute_task, batch,
+                            executor=self._pool, workers=self.workers)
+        finally:
+            with self._lock:
+                self._batches -= 1
+
+    # -- execution -----------------------------------------------------
+    def _execute_task(self, job_id: str) -> str:
+        """Worker body for one job (exceptions land on the job, not
+        the batch — belt to ``execute_indexed``'s braces)."""
+
+        job = self.get(job_id)
+        if job is None or job.done:
+            return job_id
+        try:
+            self._execute(job)
+        except Exception as exc:  # noqa: BLE001 — jobs must not sink pool
+            with self._lock:
+                job.error = f"{type(exc).__name__}: {exc}"
+            # Journal before flipping the status: the moment a poller
+            # sees the job terminal, the journal already agrees.
+            self.journal.write(job_record(
+                job.id, job.spec, FAILED, rounds=job.rounds,
+                error=job.error,
+            ))
+            with self._lock:
+                job.status = FAILED
+        return job_id
+
+    def _execute(self, job: Job) -> None:
+        """Drive one job's checkpoint stream to a terminal record."""
+
+        spec = job.spec
+        with self._lock:
+            job.status = RUNNING
+        self._journal_running(job, payload=job.warm_payload)
+        problem = spec["workload"]["problem"]
+        instance = instance_from_workload(
+            spec["workload"], max_rounds=spec["max_rounds"],
+        )
+        deadline = None
+        if spec["time_budget_s"] is not None:
+            deadline = time.monotonic() + spec["time_budget_s"]
+        started = time.perf_counter()
+        stream = solve_iter(instance, spec["algorithm"], problem=problem,
+                            warm_start=job.warm_payload,
+                            **spec["options"])
+        best = None
+        last_payload = job.warm_payload
+        report = None
+        while True:
+            try:
+                checkpoint = next(stream)
+            except StopIteration as stop:
+                report = stop.value
+                break
+            with self._lock:
+                job.checkpoints += 1
+                job.rounds = checkpoint.rounds
+                job.latest = _checkpoint_record(checkpoint)
+            if checkpoint.valid:
+                best = checkpoint
+                if checkpoint.resume_state is not None:
+                    last_payload = checkpoint.resume_state
+                    # Crash safety: the journal always holds the
+                    # newest resumable boundary.
+                    self._journal_running(job, payload=last_payload)
+            if self.phase_delay_s:
+                time.sleep(self.phase_delay_s)
+            if deadline is not None and time.monotonic() >= deadline:
+                # SLA truncation: stop the run cooperatively and adopt
+                # the best certified checkpoint the deadline admitted.
+                stream.close()
+                record = truncated_result_record(
+                    spec, best, last_payload, problem,
+                )
+                # Where a wall-clock deadline lands is timing-dependent,
+                # so the record is not deterministic — keep it out of
+                # the cache (whose key deliberately ignores the wall
+                # budget).
+                self._finish(job, record, time.perf_counter() - started,
+                             cacheable=False)
+                return
+        record = result_record(report)
+        self._finish(job, record, time.perf_counter() - started)
+
+    def _finish(self, job: Job, record: Dict[str, Any],
+                seconds: float, cacheable: bool = True) -> None:
+        if cacheable:
+            self.cache.put(spec_cache_key(job.spec), record)
+        with self._lock:
+            job.result = record
+            job.rounds = record["rounds"]
+            job.seconds = seconds
+            self._latencies.append(seconds)
+        # Journal before flipping the status: the status change is the
+        # commit point pollers observe, so once ``job.done`` is true the
+        # terminal record is already durable.
+        self.journal.write(job_record(
+            job.id, job.spec, record["status"], rounds=record["rounds"],
+            payload=record.get("resume"), result=record, error=job.error,
+        ))
+        with self._lock:
+            job.status = record["status"]
+
+
+__all__ = ["Job", "JobManager", "COMPLETE", "FAILED", "QUEUED",
+           "RUNNING", "STATUSES", "TRUNCATED"]

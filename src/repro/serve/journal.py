@@ -1,0 +1,135 @@
+"""Crash-safe per-job journal for the solver service.
+
+Every job owns one JSON file under ``--state-dir``, rewritten at each
+checkpoint through the shared atomic-write helper
+(:func:`repro.api.persist.write_envelope`: temp file + ``os.replace``
++ fsync), so a ``kill -9`` at any instant leaves either the previous
+or the next complete record on disk — never a torn one.
+
+A journal record wraps the CLI's resume-file envelope (the workload
+recipe + the facade's resume payload) with the job's service-level
+identity::
+
+    {
+      "format": "repro-serve-job/1",
+      "job_id": "job-000001-<fingerprint>",
+      "spec": { ...the submitted spec, verbatim... },
+      "status": "running" | "complete" | "truncated" | "failed",
+      "rounds": <rounds consumed at the last checkpoint>,
+      "envelope": { ...repro-resume-file/1... } | null,
+      "result": { ...terminal result record... } | null,
+      "error": <string> | null
+    }
+
+On restart the daemon replays the directory: terminal records are
+re-registered (and re-seed the result cache); non-terminal records are
+re-queued, warm-started from their envelope when one was captured —
+the resume contract then makes the finished job bit-identical to the
+uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from ..api.persist import resume_envelope, write_envelope
+
+#: Self-describing marker of the journal record format.
+JOB_FILE_FORMAT = "repro-serve-job/1"
+
+#: Statuses after which a job never runs again.
+TERMINAL_STATUSES = ("complete", "truncated", "failed")
+
+
+def job_record(job_id: str, spec: Dict[str, Any], status: str,
+               rounds: int = 0,
+               payload: Optional[Dict[str, Any]] = None,
+               result: Optional[Dict[str, Any]] = None,
+               error: Optional[str] = None) -> Dict[str, Any]:
+    """Assemble one journal record (the resume payload is wrapped into
+    the shared CLI envelope so either entry point can consume it)."""
+
+    envelope = None
+    if payload is not None:
+        envelope = resume_envelope(spec["workload"], payload)
+    return {
+        "format": JOB_FILE_FORMAT,
+        "job_id": job_id,
+        "spec": spec,
+        "status": status,
+        "rounds": rounds,
+        "envelope": envelope,
+        "result": result,
+        "error": error,
+    }
+
+
+class Journal:
+    """The state directory: one atomic JSON file per job."""
+
+    def __init__(self, state_dir: Optional[str]):
+        self.state_dir = state_dir
+        if state_dir is not None:
+            os.makedirs(state_dir, exist_ok=True)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether persistence is on (``--state-dir`` was passed)."""
+
+        return self.state_dir is not None
+
+    def path(self, job_id: str) -> str:
+        return os.path.join(self.state_dir, f"{job_id}.json")
+
+    def write(self, record: Dict[str, Any]) -> None:
+        """Atomically persist one job record (no-op when disabled)."""
+
+        if not self.enabled:
+            return
+        write_envelope(self.path(record["job_id"]), record)
+
+    def remove(self, job_id: str) -> None:
+        """Forget one job (no-op when disabled or already gone)."""
+
+        if not self.enabled:
+            return
+        try:
+            os.remove(self.path(job_id))
+        except OSError:
+            pass
+
+    def replay(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        """Yield ``(job_id, record)`` for every well-formed journal
+        file, in job-id order (deterministic recovery order).
+
+        Unreadable or foreign files are skipped — a half-written temp
+        file left by a crash must not poison the restart.
+        """
+
+        if not self.enabled:
+            return
+        try:
+            names = sorted(os.listdir(self.state_dir))
+        except OSError:
+            return
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            try:
+                with open(os.path.join(self.state_dir, name),
+                          encoding="utf-8") as handle:
+                    record = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if (not isinstance(record, dict)
+                    or record.get("format") != JOB_FILE_FORMAT
+                    or not isinstance(record.get("job_id"), str)
+                    or not isinstance(record.get("spec"), dict)):
+                continue
+            yield record["job_id"], record
+
+
+__all__ = ["JOB_FILE_FORMAT", "TERMINAL_STATUSES", "Journal",
+           "job_record"]

@@ -1,0 +1,202 @@
+"""Wire shapes of the solver service: specs in, records out.
+
+A *spec* is the body of ``POST /jobs`` — the deterministic workload
+recipe the CLI already uses (so a journaled job and a
+``--save-state`` file describe instances the same way) plus the
+algorithm, optional SLA budgets and solve options::
+
+    {
+      "workload": {"problem": "matching", "nodes": 60,
+                   "edge_probability": 0.12, "max_weight": 64,
+                   "seed": 7, "eps": 0.5},
+      "algorithm": "matching-oneeps-congest",
+      "max_rounds": 24,          # optional hard round budget
+      "time_budget_s": 0.25,     # optional wall-clock budget (seconds)
+      "options": {"k": 2.0}      # optional solve() keywords
+    }
+
+Budget mapping: ``max_rounds`` becomes ``Instance.max_rounds`` (the
+anytime protocol's cooperative budget — this is also what arms
+checkpoint state capture, so only round-budgeted jobs journal mid-run
+resume payloads); ``time_budget_s`` is enforced by the job runner
+between phase checkpoints, closing the stream and adopting the best
+certified partial solution when the deadline passes.  Either budget
+exhausting yields ``status="truncated"`` instead of an error.
+
+Result records are deliberately wall-clock-free: two runs of the same
+spec — interrupted or not — must produce byte-identical records under
+``canonical_json``, which is the bit-identity the kill-and-restart
+tests compare.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from ..api import get_algorithm, instance_fingerprint
+from ..api.persist import WORKLOAD_KEYS, instance_from_workload
+
+#: Defaults merged into a submitted workload recipe (matching the CLI
+#: flag defaults, so a minimal spec is ``{"problem", "nodes"}``).
+WORKLOAD_DEFAULTS = {
+    "edge_probability": 0.12,
+    "max_weight": 64,
+    "seed": 0,
+    "eps": 0.5,
+}
+
+
+class SpecError(ValueError):
+    """A malformed job spec (the HTTP layer maps it to 400)."""
+
+
+def validate_spec(body: Any) -> Dict[str, Any]:
+    """Normalize and validate one submitted spec.
+
+    Returns the canonical spec dict (workload defaults filled in,
+    algorithm resolved to its registry name) or raises
+    :class:`SpecError` with a client-presentable message.
+    """
+
+    if not isinstance(body, dict):
+        raise SpecError("job spec must be a JSON object")
+    workload = body.get("workload")
+    if not isinstance(workload, dict):
+        raise SpecError('spec needs a "workload" object '
+                        '(problem/nodes/... recipe)')
+    unknown = set(workload) - set(WORKLOAD_KEYS)
+    if unknown:
+        raise SpecError(f"unknown workload keys: {sorted(unknown)} "
+                        f"(expected a subset of {list(WORKLOAD_KEYS)})")
+    merged = {**WORKLOAD_DEFAULTS, **workload}
+    missing = [key for key in WORKLOAD_KEYS if key not in merged]
+    if missing:
+        raise SpecError(f"workload is missing {missing}")
+    if merged["problem"] not in ("maxis", "matching", "mis"):
+        raise SpecError(f"unknown problem {merged['problem']!r}")
+    if not isinstance(merged["nodes"], int) or merged["nodes"] < 0:
+        raise SpecError('"nodes" must be a non-negative integer')
+    algorithm = body.get("algorithm")
+    if not isinstance(algorithm, str):
+        raise SpecError('spec needs an "algorithm" registry name '
+                        "(see python -m repro info --json)")
+    try:
+        spec = get_algorithm(algorithm, problem=merged["problem"])
+    except KeyError as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        raise SpecError(str(message)) from exc
+    max_rounds = body.get("max_rounds")
+    if max_rounds is not None and (
+            not isinstance(max_rounds, int) or max_rounds < 0):
+        raise SpecError('"max_rounds" must be a non-negative integer')
+    time_budget = body.get("time_budget_s")
+    if time_budget is not None and (
+            not isinstance(time_budget, (int, float)) or time_budget < 0):
+        raise SpecError('"time_budget_s" must be a non-negative number')
+    options = body.get("options") or {}
+    if not isinstance(options, dict) or not all(
+            isinstance(key, str) for key in options):
+        raise SpecError('"options" must be an object of keyword '
+                        "arguments")
+    extra = set(body) - {"workload", "algorithm", "max_rounds",
+                         "time_budget_s", "options"}
+    if extra:
+        raise SpecError(f"unknown spec keys: {sorted(extra)}")
+    return {
+        "workload": {key: merged[key] for key in WORKLOAD_KEYS},
+        "algorithm": spec.name,
+        "max_rounds": max_rounds,
+        "time_budget_s": time_budget,
+        "options": dict(sorted(options.items())),
+    }
+
+
+def spec_cache_key(spec: Dict[str, Any]) -> str:
+    """The result-cache identity of a spec.
+
+    Built on the *instance fingerprint* (which covers the rebuilt
+    graph, seed, ε and the round budget) plus the algorithm and option
+    set.  The wall-clock budget is deliberately excluded — it cannot
+    change a deterministic result, only whether one is reached — so a
+    generous-deadline hit can serve a tight-deadline request.
+    """
+
+    instance = instance_from_workload(spec["workload"],
+                                      max_rounds=spec["max_rounds"])
+    options = json.dumps(spec["options"], sort_keys=True)
+    return f"{instance_fingerprint(instance)}:{spec['algorithm']}:{options}"
+
+
+def encode_solution(solution) -> list:
+    """A solution set as deterministic JSON: nodes (or edge pairs)
+    sorted by ``repr``, edges listed endpoint-sorted."""
+
+    def _key(value):
+        return repr(value)
+
+    out = []
+    for member in solution:
+        if isinstance(member, frozenset):
+            out.append(sorted(member, key=_key))
+        else:
+            out.append(member)
+    out.sort(key=_key)
+    return out
+
+
+def result_record(report) -> Dict[str, Any]:
+    """The terminal record of one solve — cached, journaled, and byte-
+    compared by the crash-recovery tests (no wall-clock inside)."""
+
+    return {
+        "algorithm": report.algorithm,
+        "problem": report.problem,
+        "status": report.status,
+        "objective": report.objective,
+        "size": report.size,
+        "rounds": report.rounds,
+        "bound": report.bound,
+        "solution": encode_solution(report.solution),
+        "ledger": report.ledger_counts(),
+        "resume": report.resume_state,
+    }
+
+
+def truncated_result_record(spec: Dict[str, Any], checkpoint,
+                            payload: Optional[Dict[str, Any]],
+                            problem: str) -> Dict[str, Any]:
+    """The record of a wall-clock-truncated solve: the best certified
+    checkpoint the deadline admitted, same shape as a full record."""
+
+    return {
+        "algorithm": spec["algorithm"],
+        "problem": problem,
+        "status": "truncated",
+        "objective": checkpoint.objective if checkpoint else 0,
+        "size": len(checkpoint.solution) if checkpoint else 0,
+        "rounds": checkpoint.rounds if checkpoint else 0,
+        "bound": None,
+        "solution": encode_solution(
+            checkpoint.solution if checkpoint else frozenset()),
+        "ledger": {},
+        "resume": payload,
+    }
+
+
+def canonical_json(record: Any) -> str:
+    """The canonical byte form records are compared in."""
+
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+__all__ = [
+    "SpecError",
+    "WORKLOAD_DEFAULTS",
+    "canonical_json",
+    "encode_solution",
+    "result_record",
+    "spec_cache_key",
+    "truncated_result_record",
+    "validate_spec",
+]

@@ -206,3 +206,91 @@ class TestBatchReport:
         assert all(sec >= 0 for sec in batch.latencies())
         assert batch.elapsed > 0
         assert batch.trials_per_second() > 0
+
+
+class TestWarmStart:
+    """``solve_many(..., warm_start=...)`` — resuming a budgeted batch."""
+
+    def _grid(self, budget):
+        from dataclasses import replace
+
+        return [
+            replace(random_instance("matching", n=20, p=0.3, seed=s),
+                    max_rounds=budget)
+            for s in (1, 2, 3)
+        ]
+
+    def test_truncated_batch_resumes_bit_identically(self):
+        cut = solve_many(self._grid(8), "matching-proposal",
+                         executor="serial")
+        assert cut.truncated  # the budget really bit
+        resumed = solve_many(self._grid(None), "matching-proposal",
+                             executor="serial", warm_start=cut)
+        cold = solve_many(self._grid(None), "matching-proposal",
+                          executor="serial")
+        for warm_item, cold_item in zip(resumed, cold):
+            assert warm_item.report.status == "complete"
+            assert warm_item.report.solution == cold_item.report.solution
+            assert warm_item.report.rounds == cold_item.report.rounds
+            assert warm_item.report.objective == cold_item.report.objective
+        assert all(item.warm_started for item in resumed)
+        assert resumed.summary()["warm_started"] == 3
+
+    def test_complete_reports_pass_through_without_rerun(self):
+        done = solve_many(self._grid(None), "matching-proposal",
+                          executor="serial")
+        again = solve_many(self._grid(None), "matching-proposal",
+                           executor="serial", warm_start=done)
+        for prior, item in zip(done, again):
+            assert item.report is prior.report  # same object: no re-solve
+            assert item.warm_started
+            assert item.seconds == 0.0
+
+    def test_mixed_sources_per_task(self):
+        cut = solve_many(self._grid(8), "matching-proposal",
+                         executor="serial")
+        sources = [
+            cut.items[0],                       # BatchItem
+            cut.items[1].report.resume_state,   # raw payload dict
+            None,                               # cold solve
+        ]
+        resumed = solve_many(self._grid(None), "matching-proposal",
+                             executor="serial", warm_start=sources)
+        cold = solve_many(self._grid(None), "matching-proposal",
+                          executor="serial")
+        assert [item.warm_started for item in resumed] == \
+            [True, True, False]
+        for warm_item, cold_item in zip(resumed, cold):
+            assert warm_item.report.solution == cold_item.report.solution
+            assert warm_item.report.rounds == cold_item.report.rounds
+
+    def test_failed_item_source_degrades_to_cold_solve(self):
+        from repro.api.batch import BatchItem
+
+        failed = BatchItem(index=0, fingerprint="dead",
+                           algorithm="matching-proposal",
+                           error="RuntimeError: boom")
+        grid = self._grid(None)[:1]
+        resumed = solve_many(grid, "matching-proposal",
+                             executor="serial", warm_start=[failed])
+        cold = solve_many(grid, "matching-proposal", executor="serial")
+        assert not resumed.items[0].warm_started
+        assert resumed.items[0].report.solution == \
+            cold.items[0].report.solution
+
+    def test_misaligned_warm_column_raises(self):
+        cut = solve_many(self._grid(8), "matching-proposal",
+                         executor="serial")
+        with pytest.raises(ValueError, match="columns must align"):
+            solve_many(self._grid(None)[:2], "matching-proposal",
+                       executor="serial", warm_start=cut)
+
+    def test_unsupported_source_type_raises(self):
+        with pytest.raises(TypeError, match="cannot warm-start"):
+            solve_many(self._grid(None)[:1], "matching-proposal",
+                       executor="serial", warm_start=[42])
+
+    def test_cold_batch_summary_keeps_historical_shape(self):
+        summary = solve_many(self._grid(None), "matching-proposal",
+                             executor="serial").summary()
+        assert "warm_started" not in summary

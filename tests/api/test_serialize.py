@@ -1,0 +1,179 @@
+"""Adversarial round trips through the resume-payload codec.
+
+``to_jsonable``/``from_jsonable`` guard every resume file the CLI and
+the solver service write, so the codec must survive hostile shapes:
+tag-colliding dict keys, deep nesting, non-finite floats, unknown
+tags in foreign input, and mixed containers — and must refuse (not
+mangle) types it cannot restore.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.api.serialize import from_jsonable, to_jsonable
+
+
+def roundtrip(obj):
+    """The full journey a payload takes: encode → JSON → decode."""
+
+    return from_jsonable(json.loads(json.dumps(to_jsonable(obj))))
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("obj", [
+        None,
+        True,
+        0,
+        -17,
+        2**63,
+        1.5,
+        "",
+        "text",
+        [],
+        {},
+        (),
+        set(),
+        frozenset(),
+        (1, 2, 3),
+        {1, 2, 3},
+        frozenset({3, 1, 2}),
+        [1, [2, [3, [4]]]],
+        {"a": 1, "b": [2, 3]},
+        ("mixed", [1, {2}], frozenset({(3, 4)})),
+        {frozenset({1, 2}): "edge", (0, 1): "tuple-key"},
+        {None: "none-key", True: "bool-key", 7: "int-key"},
+        {"outer": {"inner": ({"deep": {frozenset({5})}},)}},
+    ])
+    def test_value_survives(self, obj):
+        assert roundtrip(obj) == obj
+
+    def test_types_survive_exactly(self):
+        restored = roundtrip((frozenset({1}), {2}, [3], (4,)))
+        assert isinstance(restored, tuple)
+        assert isinstance(restored[0], frozenset)
+        assert isinstance(restored[1], set)
+        assert isinstance(restored[2], list)
+        assert isinstance(restored[3], tuple)
+
+    def test_bool_int_distinction_survives(self):
+        restored = roundtrip([True, 1, False, 0])
+        assert [type(x) for x in restored] == [bool, int, bool, int]
+
+    def test_deep_nesting(self):
+        obj = "leaf"
+        for _ in range(100):
+            obj = {"next": (obj,)}
+        assert roundtrip(obj) == obj
+
+    def test_wide_payload(self):
+        obj = {f"node-{i}": frozenset({(i, i + 1)}) for i in range(500)}
+        assert roundtrip(obj) == obj
+
+    def test_realistic_resume_shape(self):
+        payload = {
+            "version": 1,
+            "algorithm": "matching-proposal",
+            "phase": "repetition-2",
+            "rounds": 12,
+            "state": {
+                "matched": frozenset({frozenset({0, 3})}),
+                "proposals": {(0, 3): ("accept", 1.5)},
+                "rng": (123, (1, 2, 3), None),
+            },
+        }
+        assert roundtrip(payload) == payload
+
+
+class TestTagCollisions:
+    @pytest.mark.parametrize("tag", [
+        "__tuple__", "__set__", "__frozenset__", "__dict__",
+    ])
+    def test_dict_key_colliding_with_tag(self, tag):
+        obj = {tag: "user data", "other": 1}
+        assert roundtrip(obj) == obj
+
+    def test_single_key_collision(self):
+        # the hardest case: exactly one key, and it IS a tag name
+        obj = {"__set__": [1, 2]}
+        assert roundtrip(obj) == obj
+
+    def test_collision_inside_nested_value(self):
+        obj = {"state": {"__tuple__": "not a real tuple tag"}}
+        assert roundtrip(obj) == obj
+
+    def test_tuple_containing_collision_dict(self):
+        obj = ({"__frozenset__": 0},)
+        restored = roundtrip(obj)
+        assert restored == obj
+        assert isinstance(restored, tuple)
+        assert isinstance(restored[0], dict)
+
+
+class TestNonFiniteFloats:
+    def test_infinities_round_trip(self):
+        assert roundtrip([math.inf, -math.inf]) == [math.inf, -math.inf]
+
+    def test_nan_round_trips_as_nan(self):
+        restored = roundtrip({"weight": math.nan})
+        assert math.isnan(restored["weight"])
+
+    def test_negative_zero_sign_survives(self):
+        restored = roundtrip(-0.0)
+        assert restored == 0.0
+        assert math.copysign(1.0, restored) == -1.0
+
+
+class TestForeignInput:
+    def test_unknown_tag_passes_through_as_plain_dict(self):
+        foreign = {"__exotic__": [1, 2]}
+        assert from_jsonable(foreign) == foreign
+
+    def test_decode_is_idempotent_on_json_native(self):
+        native = {"a": [1, 2.5, None, True, "s"], "b": {"c": []}}
+        assert from_jsonable(native) == native
+        assert from_jsonable(from_jsonable(native)) == native
+
+    def test_multi_key_dict_with_tag_is_not_decoded(self):
+        # only single-key dicts are tag candidates
+        foreign = {"__set__": [1], "extra": 2}
+        assert from_jsonable(foreign) == foreign
+
+    def test_malformed_tag_value_raises_not_corrupts(self):
+        with pytest.raises((TypeError, ValueError)):
+            from_jsonable({"__dict__": "not-a-pair-list"})
+
+
+class TestRejections:
+    @pytest.mark.parametrize("obj", [
+        object(),
+        bytes(b"raw"),
+        bytearray(b"raw"),
+        complex(1, 2),
+        range(3),
+        {"nested": {"deep": object()}},
+        [1, 2, object()],
+    ])
+    def test_unsupported_types_raise_type_error(self, obj):
+        with pytest.raises(TypeError):
+            to_jsonable(obj)
+
+    def test_error_names_the_offending_type(self):
+        with pytest.raises(TypeError, match="bytes"):
+            to_jsonable(b"raw")
+
+
+class TestDeterminism:
+    def test_set_encoding_is_order_independent(self):
+        a = to_jsonable({3, 1, 2})
+        b = to_jsonable({2, 3, 1})
+        assert json.dumps(a) == json.dumps(b)
+
+    def test_frozenset_of_tuples_is_deterministic(self):
+        edges = [frozenset({(i, j) for i in range(4) for j in range(4)})
+                 for _ in range(2)]
+        assert json.dumps(to_jsonable(edges[0])) == \
+            json.dumps(to_jsonable(edges[1]))

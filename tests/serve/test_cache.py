@@ -1,0 +1,80 @@
+"""LRU result-cache semantics: bounds, eviction order, counters."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve.cache import ResultCache
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache(maxsize=4)
+        assert cache.get("a") is None
+        cache.put("a", {"value": 1})
+        assert cache.get("a") == {"value": 1}
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate() == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a" → "b" is now LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.evictions == 1
+
+    def test_put_refreshes_existing_key(self):
+        cache = ResultCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not insert: no eviction
+        assert cache.evictions == 0
+        assert cache.get("a") == 10
+        assert len(cache) == 2
+
+    def test_zero_capacity_never_stores(self):
+        cache = ResultCache(maxsize=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(maxsize=-1)
+
+    def test_hit_rate_before_any_lookup(self):
+        assert ResultCache().hit_rate() == 0.0
+
+    def test_stats_shape(self):
+        cache = ResultCache(maxsize=3)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("zzz")
+        stats = cache.stats()
+        assert stats == {
+            "size": 1, "maxsize": 3, "hits": 1, "misses": 1,
+            "evictions": 0, "hit_rate": 0.5,
+        }
+
+    def test_concurrent_access_stays_bounded(self):
+        cache = ResultCache(maxsize=8)
+
+        def worker(base):
+            for i in range(200):
+                cache.put(f"k{base}-{i % 16}", i)
+                cache.get(f"k{base}-{i % 16}")
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(cache) <= 8
+        assert cache.hits + cache.misses == 4 * 200

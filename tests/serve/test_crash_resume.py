@@ -1,0 +1,163 @@
+"""The headline guarantee, end to end: ``kill -9`` the daemon
+mid-solve, restart it on the same ``--state-dir``, and the finished
+job is byte-identical to a never-interrupted run.
+
+Uses ``matching-proposal``, which journals a genuine resume payload at
+every repetition boundary, so the restarted daemon really warm-starts
+from mid-run state rather than re-running from scratch.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import re
+import select
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.api import random_instance, solve
+from repro.serve.protocol import result_record
+
+JOB_BODY = {
+    "workload": {"problem": "matching", "nodes": 40, "seed": 5},
+    "algorithm": "matching-proposal",
+    "max_rounds": 1000,
+}
+#: Sleep per checkpoint inside the daemon — widens the window between
+#: "3 checkpoints journaled" and "job done" so the kill always lands
+#: mid-solve.
+PHASE_DELAY = 0.25
+
+READY_LINE = re.compile(
+    r"repro-serve listening on http://[^:]+:(\d+) "
+    r"\(recovered (\d+), requeued (\d+)\)")
+
+
+def _spawn(state_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", "1", "--state-dir", str(state_dir),
+         "--phase-delay", str(PHASE_DELAY)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env, cwd=os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))),
+    )
+
+
+def _await_ready(proc, timeout=30.0):
+    """Read stdout until the ready line; return (port, recovered,
+    requeued)."""
+
+    deadline = time.monotonic() + timeout
+    buffer = ""
+    os.set_blocking(proc.stdout.fileno(), False)
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"daemon exited early: {buffer + (proc.stdout.read() or '')}")
+        ready, _, _ = select.select([proc.stdout], [], [], 0.1)
+        if not ready:
+            continue
+        chunk = proc.stdout.read()
+        if chunk:
+            buffer += chunk
+        match = READY_LINE.search(buffer)
+        if match:
+            return (int(match.group(1)), int(match.group(2)),
+                    int(match.group(3)))
+    raise AssertionError(f"no ready line within {timeout}s: {buffer!r}")
+
+
+def _request(port, method, path, body=None, timeout=30):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        payload = json.dumps(body).encode() if body is not None else None
+        conn.request(method, path, body=payload)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def _poll(port, job_id, predicate, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _status, record = _request(port, "GET", f"/jobs/{job_id}")
+        if predicate(record):
+            return record
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} never satisfied the predicate")
+
+
+def _kill_dead(proc):
+    if proc.poll() is None:
+        proc.kill()
+    proc.wait(timeout=10)
+    proc.stdout.close()
+
+
+@pytest.fixture
+def reference_record():
+    instance = replace(random_instance("matching", n=40, seed=5),
+                       max_rounds=1000)
+    return result_record(solve(instance, "matching-proposal"))
+
+
+class TestKillMinusNine:
+    def test_restart_finishes_bit_identically(self, tmp_path,
+                                              reference_record):
+        # --- first life: submit, wait for mid-run journal, kill -9 ---
+        first = _spawn(tmp_path)
+        try:
+            port, recovered, requeued = _await_ready(first)
+            assert (recovered, requeued) == (0, 0)
+            _status, record = _request(port, "POST", "/jobs", JOB_BODY)
+            job_id = record["id"]
+            mid = _poll(port, job_id,
+                        lambda r: r["checkpoints"] >= 3)
+            # the kill must land mid-solve, not after completion
+            assert mid["status"] == "running", mid["status"]
+            os.kill(first.pid, signal.SIGKILL)
+        finally:
+            _kill_dead(first)
+
+        # the journal survived the kill with a mid-run envelope
+        journal_path = tmp_path / f"{job_id}.json"
+        with open(journal_path) as handle:
+            journaled = json.load(handle)
+        assert journaled["status"] == "running"
+        assert journaled["envelope"] is not None
+        assert journaled["envelope"]["payload"]["rounds"] > 0
+
+        # --- second life: restart on the same state dir ---------------
+        second = _spawn(tmp_path)
+        try:
+            port, recovered, requeued = _await_ready(second)
+            assert requeued == 1
+            done = _poll(port, job_id, lambda r: r["status"] in
+                         ("complete", "truncated", "failed"))
+            assert done["status"] == "complete"
+            assert done["recovered"] is True
+            # the headline bit: byte-identical to the uninterrupted run
+            assert json.dumps(done["result"], sort_keys=True) == \
+                json.dumps(reference_record, sort_keys=True)
+        finally:
+            _kill_dead(second)
+
+        # the journal now holds the terminal record, so a third boot
+        # restores (not re-runs) the job
+        third = _spawn(tmp_path)
+        try:
+            _port, recovered, requeued = _await_ready(third)
+            assert (recovered, requeued) == (1, 0)
+        finally:
+            _kill_dead(third)

@@ -1,0 +1,128 @@
+"""Spec validation and record shapes of the service wire protocol."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import random_instance, solve
+from repro.serve.protocol import (
+    SpecError,
+    canonical_json,
+    encode_solution,
+    result_record,
+    spec_cache_key,
+    validate_spec,
+)
+
+
+def _spec(**overrides):
+    body = {
+        "workload": {"problem": "maxis", "nodes": 20, "seed": 3},
+        "algorithm": "maxis-layers",
+    }
+    body.update(overrides)
+    return body
+
+
+class TestValidateSpec:
+    def test_minimal_spec_gets_defaults(self):
+        spec = validate_spec(_spec())
+        assert spec["workload"] == {
+            "problem": "maxis", "nodes": 20, "edge_probability": 0.12,
+            "max_weight": 64, "seed": 3, "eps": 0.5,
+        }
+        assert spec["algorithm"] == "maxis-layers"
+        assert spec["max_rounds"] is None
+        assert spec["time_budget_s"] is None
+        assert spec["options"] == {}
+
+    def test_cli_short_name_resolves_to_registry_name(self):
+        spec = validate_spec(_spec(algorithm="layers"))
+        assert spec["algorithm"] == "maxis-layers"
+
+    def test_budgets_and_options_pass_through(self):
+        spec = validate_spec(_spec(max_rounds=12, time_budget_s=0.5,
+                                   options={"trace": False}))
+        assert spec["max_rounds"] == 12
+        assert spec["time_budget_s"] == 0.5
+        assert spec["options"] == {"trace": False}
+
+    @pytest.mark.parametrize("body", [
+        None,
+        [],
+        "spec",
+        {},
+        {"workload": "nope", "algorithm": "layers"},
+        _spec(algorithm=None),
+        _spec(algorithm="no-such-algorithm"),
+        _spec(max_rounds=-1),
+        _spec(max_rounds=1.5),
+        _spec(time_budget_s=-0.1),
+        _spec(options=["k"]),
+        _spec(options={1: 2}),
+        _spec(bogus_key=1),
+        {"workload": {"problem": "maxis", "nodes": 20, "weird": 1},
+         "algorithm": "layers"},
+        {"workload": {"problem": "unknown", "nodes": 20},
+         "algorithm": "layers"},
+        {"workload": {"problem": "maxis", "nodes": -5},
+         "algorithm": "layers"},
+        {"workload": {"problem": "maxis"}, "algorithm": "layers"},
+    ])
+    def test_bad_specs_raise(self, body):
+        with pytest.raises(SpecError):
+            validate_spec(body)
+
+
+class TestCacheKey:
+    def test_key_depends_on_round_budget(self):
+        base = validate_spec(_spec())
+        budgeted = validate_spec(_spec(max_rounds=5))
+        assert spec_cache_key(base) != spec_cache_key(budgeted)
+
+    def test_key_ignores_wall_budget(self):
+        fast = validate_spec(_spec(time_budget_s=0.01))
+        slow = validate_spec(_spec(time_budget_s=10.0))
+        assert spec_cache_key(fast) == spec_cache_key(slow)
+
+    def test_key_depends_on_workload_and_options(self):
+        a = validate_spec(_spec())
+        b = validate_spec(
+            _spec(workload={"problem": "maxis", "nodes": 20, "seed": 4}))
+        c = validate_spec(_spec(options={"trace": False}))
+        assert len({spec_cache_key(s) for s in (a, b, c)}) == 3
+
+
+class TestRecords:
+    def test_encode_solution_is_sorted_and_json_safe(self):
+        edges = frozenset({frozenset({3, 1}), frozenset({2, 0})})
+        encoded = encode_solution(edges)
+        assert encoded == [[0, 2], [1, 3]]
+        json.dumps(encoded)  # must not raise
+
+    def test_encode_node_solution(self):
+        assert encode_solution(frozenset({5, 2, 9})) == [2, 5, 9]
+
+    def test_result_record_round_trips_canonically(self):
+        report = solve(random_instance("maxis", n=16, seed=2),
+                       "maxis-layers")
+        record = result_record(report)
+        assert record["status"] == "complete"
+        assert record["objective"] == report.objective
+        assert record["rounds"] == report.rounds
+        assert record["resume"] is None
+        # canonical form is stable through a JSON round trip
+        assert canonical_json(json.loads(canonical_json(record))) == \
+            canonical_json(record)
+
+    def test_identical_runs_produce_identical_records(self):
+        records = [
+            canonical_json(result_record(solve(
+                random_instance("matching", n=18, seed=4),
+                "matching-proposal",
+            )))
+            for _ in range(2)
+        ]
+        assert records[0] == records[1]
