@@ -1,0 +1,17 @@
+"""Experiment FAULTS — seeded chaos drills and recovery guarantees.
+
+The ``faults`` experiment in :mod:`repro.experiments.catalog` runs the
+solver service under the deterministic fault-injection plane
+(:mod:`repro.faults`): a transient-fault rate sweep against the
+bounded-retry path, journal I/O faults against the degraded-health
+breaker and garbage-tolerant recovery, a mid-solve graceful drain, and
+a dispatcher-death drill.  Every measure is a counter or flag — never
+wall-clock — so the artifact is byte-deterministic at the fixed seed
+and CI ``cmp``-gates the committed ``BENCH_faults.json``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.bench import experiment_bench
+
+test_faults = experiment_bench("faults")

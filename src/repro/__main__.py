@@ -201,6 +201,20 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="sleep after every checkpoint (test knob "
                             "for interruption scenarios; default 0)")
+    serve.add_argument("--fault-plan", default=None, metavar="FILE",
+                       help="arm the deterministic fault-injection "
+                            "plane from a repro-fault-plan/1 JSON "
+                            "file (chaos drills; default off)")
+    serve.add_argument("--watchdog", type=float, default=None,
+                       metavar="SECONDS",
+                       help="truncate a job to its best certified "
+                            "partial after this long without progress "
+                            "(default: no watchdog)")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="graceful-drain budget on SIGTERM/SIGINT: "
+                            "running jobs checkpoint and journal "
+                            "before exit (default 10)")
     return parser
 
 

@@ -30,6 +30,14 @@ when the caller submits the same instance object many times.
 A crashing task never sinks the batch: its :class:`BatchItem` records
 the error string and ``report=None``; healthy tasks are unaffected
 (``BatchReport.failures`` lists the casualties).
+
+Resilience plane (PR 8): ``solve_many(retry=...)`` arms bounded
+in-worker retries for failures classified transient
+(:class:`~repro.errors.TransientFault`), with deterministic backoff
+from :class:`~repro.faults.RetryPolicy`; ``solve_many(fault_plan=...)``
+threads the seeded fault-injection plane into every task for chaos
+drills.  Both default to off, leaving the historical behaviour —
+and the historical ``BatchItem`` shapes — untouched.
 """
 
 from __future__ import annotations
@@ -239,6 +247,11 @@ class BatchItem:
     error: Optional[str] = None
     seconds: float = 0.0
     warm_started: bool = False
+    #: Solve attempts consumed (1 unless a retry policy re-ran the
+    #: task after a transient failure).
+    attempts: int = 1
+    #: Per-attempt error strings, oldest first (empty on a clean run).
+    attempt_errors: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -330,6 +343,7 @@ class BatchReport:
             status = item.status
             statuses[status] = statuses.get(status, 0) + 1
         warm = sum(1 for item in self.items if item.warm_started)
+        retries = sum(max(0, item.attempts - 1) for item in self.items)
         out: Dict[str, object] = {
             "tasks": len(self.items),
             "ok": len(reports),
@@ -345,6 +359,9 @@ class BatchReport:
             # Key present only on warm batches: cold-batch summaries
             # keep their historical shape byte for byte.
             out["warm_started"] = warm
+        if retries:
+            # Same rule: retry-free batches keep the historical shape.
+            out["retries"] = retries
         if objectives:
             out["objective"] = {
                 "min": min(objectives),
@@ -356,23 +373,52 @@ class BatchReport:
         return out
 
 
-def _solve_task(task: tuple) -> Tuple[SolveReport, float]:
+def _solve_task(
+    task: tuple,
+) -> Tuple[Optional[SolveReport], float, int, List[str]]:
     """Worker body: one facade solve, timed.  Module-level → picklable.
 
     A 4-tuple task carries a JSON-safe warm-start payload (the resume
     envelope of a truncated prior run) as its last element; the solve
-    then continues that run instead of starting fresh."""
+    then continues that run instead of starting fresh.  A 5-tuple
+    additionally carries ``(fault_plan, scope, retry_policy)``: the
+    plan's ``worker.transient`` site fires per attempt, and failures
+    the policy classifies transient are retried in-worker with
+    deterministic backoff.  Returns ``(report_or_None, seconds,
+    attempts, attempt_errors)`` — failures are reported, not raised,
+    so the attempt trail survives the chunk boundary.
+    """
 
     from .facade import solve
 
-    if len(task) == 4:
+    plan = scope = retry = None
+    if len(task) == 5:
+        instance, algorithm, options, warm, (plan, scope, retry) = task
+    elif len(task) == 4:
         instance, algorithm, options, warm = task
     else:
         instance, algorithm, options = task
         warm = None
+    max_attempts = retry.max_attempts if retry is not None else 1
+    errors: List[str] = []
     started = time.perf_counter()
-    report = solve(instance, algorithm, warm_start=warm, **options)
-    return report, time.perf_counter() - started
+    for attempt in range(1, max_attempts + 1):
+        try:
+            if plan is not None:
+                plan.maybe_raise("worker.transient",
+                                 scope=f"{scope}:a{attempt}")
+            report = solve(instance, algorithm, warm_start=warm,
+                           **options)
+            return (report, time.perf_counter() - started, attempt,
+                    errors)
+        except Exception as exc:  # noqa: BLE001 — failure isolation
+            errors.append(f"{type(exc).__name__}: {exc}")
+            if (retry is not None and retry.retryable(exc)
+                    and attempt < max_attempts):
+                time.sleep(retry.delay(attempt, key=scope or ""))
+                continue
+            return None, time.perf_counter() - started, attempt, errors
+    return None, time.perf_counter() - started, max_attempts, errors
 
 
 def _warm_payload(source) -> Tuple[Optional[dict], Optional[SolveReport]]:
@@ -415,6 +461,8 @@ def solve_many(
     chunksize: Optional[int] = None,
     isolate_seeds: bool = False,
     warm_start=None,
+    fault_plan=None,
+    retry=None,
     **options,
 ) -> BatchReport:
     """Solve every instance with every algorithm, optionally in parallel.
@@ -446,6 +494,19 @@ def solve_many(
         are passed through without re-execution, and sources without
         usable state fall back to a cold solve.  Items touched this
         way set :attr:`BatchItem.warm_started`.
+    fault_plan:
+        A seeded :class:`~repro.faults.FaultPlan` injected into every
+        task (its ``worker.transient`` site fires per attempt) — the
+        deterministic chaos-drill hook.  Arming it also arms the
+        default retry policy unless ``retry`` says otherwise.
+    retry:
+        A :class:`~repro.faults.RetryPolicy` bounding in-worker
+        retries of transient task failures (deterministic backoff
+        keyed by task identity).  ``None`` (the default) keeps the
+        historical fail-fast behaviour unless ``fault_plan`` is set,
+        in which case :data:`~repro.faults.DEFAULT_RETRY` applies.
+        Retried tasks record their attempt trail on
+        :attr:`BatchItem.attempts` / :attr:`BatchItem.attempt_errors`.
     **options:
         Forwarded verbatim to every :func:`~repro.api.solve` call.
 
@@ -494,6 +555,22 @@ def solve_many(
                 tasks[index] = (instance, algorithm, task_options, payload)
                 warm_flags[index] = True
 
+    if fault_plan is not None and retry is None:
+        from ..faults import DEFAULT_RETRY
+
+        retry = DEFAULT_RETRY
+    if fault_plan is not None or retry is not None:
+        # Promote every task to the 5-tuple form; the scope string is
+        # the task's deterministic identity, so fault/backoff decisions
+        # are independent of backend, worker count and scheduling.
+        for index, task in enumerate(tasks):
+            if index in passthrough:
+                continue
+            warm = task[3] if len(task) == 4 else None
+            scope = f"task{index}:{keys[index][1]}"
+            tasks[index] = (task[0], task[1], task[2], warm,
+                            (fault_plan, scope, retry))
+
     workers = int(workers) if workers else 0
     if executor is None:
         executor = PROCESS if workers > 1 else SERIAL
@@ -522,17 +599,26 @@ def solve_many(
     for index, outcome in zip(submit, submitted):
         outcomes[index] = outcome
     for index, report in passthrough.items():
-        outcomes[index] = ((report, 0.0), None)
+        outcomes[index] = ((report, 0.0, 1, []), None)
 
     items = []
     for index, ((fingerprint, algorithm), (result, error)) in enumerate(
         zip(keys, outcomes)
     ):
-        report, seconds = (None, 0.0) if error is not None else result
+        if error is not None:
+            # Chunk-level casualty (worker death, unpicklable task):
+            # _solve_task never got to report an attempt trail.
+            report, seconds, attempts, attempt_errors = None, 0.0, 1, []
+        else:
+            report, seconds, attempts, attempt_errors = result
+            if report is None:
+                error = (attempt_errors[-1] if attempt_errors
+                         else "task failed")
         items.append(BatchItem(
             index=index, fingerprint=fingerprint, algorithm=algorithm,
             report=report, error=error, seconds=seconds,
-            warm_started=warm_flags[index],
+            warm_started=warm_flags[index], attempts=attempts,
+            attempt_errors=list(attempt_errors),
         ))
     return BatchReport(
         items=items,

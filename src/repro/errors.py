@@ -78,6 +78,21 @@ class ResumeMismatch(ResumeError):
     """
 
 
+class TransientFault(ReproError):
+    """A failure worth retrying (the retry policies' marker class).
+
+    The fault-injection plane raises this at its ``worker.transient``
+    site, and user algorithm code may raise it (or a subclass) to opt a
+    failure into the bounded-retry path of the solver service and
+    ``solve_many``.  Anything else fails fast, as it always has.
+    """
+
+
+class FaultPlanError(ReproError):
+    """A fault-injection plan is malformed (unknown site, bad rule,
+    unreadable ``--fault-plan`` file)."""
+
+
 class AlgorithmContractViolation(ReproError):
     """An algorithm produced output that violates its own guarantees.
 

@@ -1741,3 +1741,212 @@ SMOKE = register_experiment(ExperimentSpec(
         ),
     ),
 ))
+
+
+# ======================================================================
+# faults — deterministic chaos drills against the solver service
+# ======================================================================
+# Unlike serve_load, every measure here is a counter, flag or objective
+# total — no wall-clock — so the artifact is byte-deterministic at a
+# fixed seed and CI `cmp`-gates the committed BENCH_faults.json.
+def _faults_retry_check(rows):
+    """Transient faults must be absorbed, never corrupt results, and
+    retries must grow with the injection rate from a zero baseline."""
+
+    for row in rows:
+        assert row["terminal"] == row["jobs"], (
+            f"{row['jobs'] - row['terminal']} jobs lost at "
+            f"rate {row['rate']}"
+        )
+        assert row["objective_total"] == row["direct_objective_total"], (
+            f"retried jobs diverged from the fault-free solve at "
+            f"rate {row['rate']} ({row['objective_total']} vs "
+            f"{row['direct_objective_total']})"
+        )
+    by_rate = sorted(rows, key=lambda row: row["rate"])
+    retries = [row["retries"] for row in by_rate]
+    assert retries == sorted(retries), (
+        f"retries must not fall as the fault rate grows: {retries}"
+    )
+    assert by_rate[0]["rate"] == 0.0 and by_rate[0]["retries"] == 0, (
+        "the fault-free cell must be retry-free "
+        f"(got {by_rate[0]['retries']})"
+    )
+    assert by_rate[0]["failed"] == 0, (
+        "the fault-free cell must not fail jobs"
+    )
+    assert by_rate[-1]["retries"] > 0, (
+        "the faulted cells never triggered a retry — injection is dead"
+    )
+
+
+def _faults_journal_check(rows):
+    """Journal faults degrade persistence loudly, never the solves;
+    recovery sweeps/skips garbage and finishes every durable job."""
+
+    for row in rows:
+        assert row["first_complete"] == row["jobs"], (
+            f"journal faults killed "
+            f"{row['jobs'] - row['first_complete']} jobs"
+        )
+        assert row["objective_total"] == row["direct_objective_total"], (
+            "journal faults corrupted results "
+            f"({row['objective_total']} vs "
+            f"{row['direct_objective_total']})"
+        )
+        assert row["journal_errors"] > 0, (
+            f"no journal faults fired at rate {row['rate']}"
+        )
+        assert row["skipped"] == 2, (
+            f"recovery should skip the 2 planted garbage files, "
+            f"skipped {row['skipped']}"
+        )
+        assert row["swept_tmp"] >= 1, (
+            "recovery never swept the planted stale temp file"
+        )
+        assert row["recovered_terminal"], (
+            "a recovered job never reached a terminal state"
+        )
+        assert (row["recovered_objective_total"]
+                == row["recovered_direct_total"]), (
+            "recovered jobs diverged from their fault-free solves"
+        )
+        if row["rate"] >= 1.0:
+            assert row["degraded"], (
+                "persistent journal failure must flip health degraded"
+            )
+            assert row["restored"] + row["requeued"] == 0, (
+                "no record can be durable when every write fails"
+            )
+
+
+def _faults_drain_check(rows):
+    """A graceful drain parks every in-flight job with a journaled
+    resume point, and a restart finishes them bit-equal to
+    never-interrupted runs."""
+
+    for row in rows:
+        assert row["parked"] == row["jobs"], (
+            f"drain parked {row['parked']} of {row['jobs']} jobs "
+            "(a job finished before the drain hit — raise the phase "
+            "delay)"
+        )
+        assert row["terminal_before_drain"] == 0, (
+            "the drain scenario expects every job mid-flight"
+        )
+        assert row["drain_clean"], "drain missed its budget"
+        assert row["requeued"] == row["jobs"], (
+            f"restart requeued {row['requeued']} of {row['jobs']} "
+            "drained jobs"
+        )
+        assert row["objective_total"] == row["direct_objective_total"], (
+            "drained-and-resumed jobs diverged from never-stopped runs "
+            f"({row['objective_total']} vs "
+            f"{row['direct_objective_total']})"
+        )
+
+
+def _faults_dispatcher_check(rows):
+    """Dispatcher death latches degraded health; queued jobs survive
+    in the journal and a restart finishes all of them."""
+
+    for row in rows:
+        assert row["dispatcher_dead"] and row["degraded"], (
+            "dispatcher death must latch the health breaker"
+        )
+        assert row["executed_before_death"] == 0, (
+            f"{row['executed_before_death']} jobs ran under a dead "
+            "dispatcher"
+        )
+        assert row["requeued"] == row["jobs"], (
+            f"restart recovered {row['requeued']} of {row['jobs']} "
+            "journaled jobs"
+        )
+        assert row["complete_after_restart"] == row["jobs"], (
+            "a recovered job failed to complete after restart"
+        )
+        assert row["objective_total"] == row["direct_objective_total"], (
+            "recovered jobs diverged from the fault-free solves"
+        )
+
+
+FAULTS = register_experiment(ExperimentSpec(
+    name="faults",
+    title="FAULTS: seeded chaos drills and recovery guarantees",
+    description=(
+        "Runs the solver service under the deterministic fault-"
+        "injection plane (repro.faults): a worker.transient rate "
+        "sweep exercises the bounded-retry path, journal.write/"
+        "journal.tmp faults exercise the degraded-health breaker and "
+        "garbage-tolerant recovery, a mid-solve graceful drain "
+        "exercises the SIGTERM path, and a dispatcher.death drill "
+        "exercises the latched breaker.  Every measure is a counter "
+        "or flag (never wall-clock), so the artifact is byte-"
+        "deterministic and CI cmp-gates the committed "
+        "BENCH_faults.json."
+    ),
+    tags=("serve", "faults", "chaos"),
+    sections=(
+        Section(
+            name="retry",
+            title="FAULTS-a: transient-fault rate sweep vs bounded "
+                  "retries (6 jobs, n=32, max 4 attempts)",
+            measurement="fault_recovery",
+            grid=(
+                {"scenario": "retry", "rate": 0.0, "jobs": 6},
+                {"scenario": "retry", "rate": 0.3, "jobs": 6},
+                {"scenario": "retry", "rate": 0.6, "jobs": 6},
+            ),
+            seeds=(0,),
+            checks=(
+                _rows_check("retries_absorb_transients",
+                            _faults_retry_check),
+            ),
+        ),
+        Section(
+            name="journal",
+            title="FAULTS-b: journal I/O faults, degraded health and "
+                  "garbage-tolerant recovery (4 jobs, n=32)",
+            measurement="fault_recovery",
+            grid=(
+                {"scenario": "journal", "rate": 0.4, "tmp_rate": 0.3,
+                 "jobs": 4},
+                {"scenario": "journal", "rate": 1.0, "tmp_rate": 0.0,
+                 "jobs": 4},
+            ),
+            seeds=(0,),
+            checks=(
+                _rows_check("journal_faults_stay_loud_not_fatal",
+                            _faults_journal_check),
+            ),
+        ),
+        Section(
+            name="drain",
+            title="FAULTS-c: graceful drain mid-solve, restart "
+                  "resumes bit-equal (3 jobs, n=32)",
+            measurement="fault_recovery",
+            grid=(
+                {"scenario": "drain", "jobs": 3},
+            ),
+            seeds=(0,),
+            checks=(
+                _rows_check("drain_parks_and_resumes",
+                            _faults_drain_check),
+            ),
+        ),
+        Section(
+            name="dispatcher",
+            title="FAULTS-d: dispatcher death latches degraded "
+                  "health, restart recovers (3 jobs, n=32)",
+            measurement="fault_recovery",
+            grid=(
+                {"scenario": "dispatcher", "jobs": 3},
+            ),
+            seeds=(0,),
+            checks=(
+                _rows_check("dispatcher_death_is_loud_and_recoverable",
+                            _faults_dispatcher_check),
+            ),
+        ),
+    ),
+))

@@ -802,3 +802,282 @@ def _serve_load(graph, seed, problem="maxis", algorithm="maxis-layers",
         "objective_total": serve_total,
         "direct_objective_total": direct_total,
     }, None
+
+
+# ----------------------------------------------------------------------
+# Fault-injection recovery adapter (the `faults` experiment — fully
+# deterministic: every measure is a counter or flag, never wall-clock)
+# ----------------------------------------------------------------------
+def _faults_specs(seed, jobs, nodes, algorithm):
+    """The scenario's job list: distinct seeds (no cache hits), round-
+    budgeted so every checkpoint carries a resumable payload."""
+
+    return [
+        {
+            "workload": {"problem": "maxis", "nodes": nodes,
+                         "seed": seed + i},
+            "algorithm": algorithm,
+            "max_rounds": 1000,
+        }
+        for i in range(jobs)
+    ]
+
+
+def _faults_await(jobs, budget_s=120.0):
+    import time as _time
+
+    deadline = _time.monotonic() + budget_s
+    while not all(job.done for job in jobs):
+        if _time.monotonic() > deadline:
+            break
+        _time.sleep(0.002)
+
+
+def _faults_direct(spec):
+    from ..api import solve
+    from ..api.persist import instance_from_workload
+    from ..serve.protocol import validate_spec
+
+    spec = validate_spec(spec)
+    instance = instance_from_workload(
+        spec["workload"], max_rounds=spec["max_rounds"],
+    )
+    return solve(instance, spec["algorithm"]).objective
+
+
+@register_measurement("fault_recovery")
+def _fault_recovery(graph, seed, scenario="retry", jobs=6, nodes=32,
+                    algorithm="maxis-layers", rate=0.0, tmp_rate=0.0,
+                    max_attempts=4, drain_budget_s=10.0):
+    """One chaos drill against the in-process solver service.
+
+    ``scenario`` picks the fault campaign; every measure is a counter,
+    flag or objective total — deliberately no wall-clock values — so
+    the ``faults`` experiment's artifact is byte-identical at a fixed
+    seed (the CI chaos gate ``cmp``-compares it against the committed
+    ``BENCH_faults.json``).  Determinism rests on the fault plane's
+    scope keying: decisions are pure functions of ``(plan seed, site,
+    job identity, roll index)``, so thread scheduling can reorder
+    *when* a fault fires but never *whether*.
+
+    Scenarios
+    ---------
+    ``retry``
+        ``worker.transient`` fires at ``rate``; the bounded retry
+        policy (``max_attempts``, deterministic backoff) must absorb
+        the transient failures and keep every finished objective equal
+        to the direct facade solve.
+    ``journal``
+        ``journal.write`` errors at ``rate`` (plus ``journal.tmp``
+        torn temp files at ``tmp_rate``) while jobs run one at a time;
+        jobs must complete regardless, then a restart on the same
+        state dir — seeded with a foreign file, a torn record and a
+        stale temp file — must sweep/skip the garbage and finish every
+        durable record's job with the fault-free objective.
+    ``drain``
+        A graceful drain lands while every job is mid-solve (the
+        phase delay guarantees runway); all jobs must park with
+        journaled resume envelopes and a restarted manager must finish
+        them bit-equal to never-interrupted runs.
+    ``dispatcher``
+        The dispatcher dies on its first batch; health must latch
+        degraded, no job may execute, and a restart must recover and
+        finish everything.
+    """
+
+    import os as _os
+    import tempfile as _tempfile
+    import time as _time
+
+    from ..faults import FaultPlan, RetryPolicy
+    from ..serve.jobs import JobManager
+
+    specs = _faults_specs(seed, jobs, nodes, algorithm)
+    base = {"scenario": scenario, "jobs": jobs, "n": nodes,
+            "algorithm": algorithm}
+
+    if scenario == "retry":
+        plan = FaultPlan(seed=seed, sites={
+            "worker.transient": {"rate": rate},
+        })
+        manager = JobManager(
+            workers=2, fault_plan=plan,
+            retry=RetryPolicy(max_attempts=max_attempts,
+                              base_delay_s=0.001, seed=seed),
+        )
+        manager.start()
+        try:
+            submitted = [manager.submit(spec) for spec in specs]
+            _faults_await(submitted)
+            stats = manager.stats()
+        finally:
+            manager.shutdown(wait=True)
+        complete = [job for job in submitted
+                    if job.status == "complete"]
+        failed = [job for job in submitted if job.status == "failed"]
+        return {
+            **base,
+            "rate": rate,
+            "max_attempts": max_attempts,
+            "complete": len(complete),
+            "failed": len(failed),
+            "terminal": len(complete) + len(failed),
+            "retries": stats["retries_total"],
+            "worker_crashes": stats["health"]["worker_crashes"],
+            "objective_total": sum(job.result["objective"]
+                                   for job in complete),
+            "direct_objective_total": sum(_faults_direct(job.spec)
+                                          for job in complete),
+        }, None
+
+    if scenario == "journal":
+        with _tempfile.TemporaryDirectory() as state_dir:
+            sites = {"journal.write": {"rate": rate}}
+            if tmp_rate:
+                sites["journal.tmp"] = {"rate": tmp_rate}
+            plan = FaultPlan(seed=seed, sites=sites)
+            # One worker, one job in flight at a time: the journal
+            # write order — and with it the consecutive-failure
+            # breaker state — is fully deterministic.
+            manager = JobManager(workers=1, state_dir=state_dir,
+                                 fault_plan=plan)
+            manager.start()
+            try:
+                submitted = []
+                for spec in specs:
+                    job = manager.submit(spec)
+                    submitted.append(job)
+                    _faults_await([job])
+                stats = manager.stats()
+            finally:
+                manager.shutdown(wait=True)
+            first_complete = sum(1 for job in submitted
+                                 if job.status == "complete")
+            objective_total = sum(
+                job.result["objective"] for job in submitted
+                if job.status == "complete")
+
+            # Recovery garbage: a foreign-format file, a torn record,
+            # and the stale temp file of a crashed atomic write.
+            with open(_os.path.join(state_dir, "zz-foreign.json"),
+                      "w", encoding="utf-8") as handle:
+                handle.write('{"format": "someone-elses/1"}')
+            with open(_os.path.join(state_dir, "zz-torn.json"),
+                      "w", encoding="utf-8") as handle:
+                handle.write('{"format": "repro-serve-job/1", "spe')
+            with open(_os.path.join(state_dir,
+                                    "zz-stale.json.tmp.4242"),
+                      "w", encoding="utf-8") as handle:
+                handle.write('{"torn": ')
+
+            recovered = JobManager(workers=1, state_dir=state_dir)
+            counts = recovered.recover()
+            recovered.start()
+            try:
+                _faults_await(recovered.jobs())
+                survivors = recovered.jobs()
+                all_terminal = all(job.done for job in survivors)
+                recovered_objective = sum(
+                    job.result["objective"] for job in survivors
+                    if job.result is not None)
+                recovered_direct = sum(_faults_direct(job.spec)
+                                       for job in survivors)
+            finally:
+                recovered.shutdown(wait=True)
+        return {
+            **base,
+            "rate": rate,
+            "tmp_rate": tmp_rate,
+            "first_complete": first_complete,
+            "journal_errors": stats["journal_errors"],
+            "degraded": stats["health"]["state"] == "degraded",
+            "restored": counts["restored"],
+            "requeued": counts["requeued"],
+            "skipped": counts["skipped"],
+            "swept_tmp": counts["swept_tmp"],
+            "recovered_terminal": all_terminal,
+            "objective_total": objective_total,
+            "direct_objective_total": sum(_faults_direct(spec)
+                                          for spec in specs),
+            "recovered_objective_total": recovered_objective,
+            "recovered_direct_total": recovered_direct,
+        }, None
+
+    if scenario == "drain":
+        with _tempfile.TemporaryDirectory() as state_dir:
+            manager = JobManager(workers=2, state_dir=state_dir,
+                                 phase_delay_s=0.05)
+            manager.start()
+            submitted = [manager.submit(spec) for spec in specs]
+            stats = manager.drain(timeout_s=drain_budget_s)
+            manager.shutdown(wait=True)
+            parked = sum(1 for job in submitted if not job.done)
+
+            recovered = JobManager(workers=2, state_dir=state_dir)
+            counts = recovered.recover()
+            recovered.start()
+            try:
+                _faults_await(recovered.jobs())
+                survivors = recovered.jobs()
+                objective_total = sum(
+                    job.result["objective"] for job in survivors
+                    if job.result is not None)
+            finally:
+                recovered.shutdown(wait=True)
+        return {
+            **base,
+            "drain_budget_s": drain_budget_s,
+            "parked": parked,
+            "terminal_before_drain": jobs - parked,
+            "drain_clean": bool(stats["clean"]),
+            "requeued": counts["requeued"],
+            "skipped": counts["skipped"],
+            "objective_total": objective_total,
+            "direct_objective_total": sum(_faults_direct(spec)
+                                          for spec in specs),
+        }, None
+
+    if scenario == "dispatcher":
+        plan = FaultPlan(seed=seed, sites={
+            "dispatcher.death": {"after": 1},
+        })
+        with _tempfile.TemporaryDirectory() as state_dir:
+            manager = JobManager(workers=2, state_dir=state_dir,
+                                 fault_plan=plan)
+            manager.start()
+            submitted = [manager.submit(spec) for spec in specs]
+            deadline = _time.monotonic() + 10.0
+            while not manager.health.snapshot()["dispatcher_dead"]:
+                if _time.monotonic() > deadline:
+                    break
+                _time.sleep(0.002)
+            stats = manager.stats()
+            manager.shutdown(wait=True)
+            executed = sum(1 for job in submitted if job.done)
+
+            recovered = JobManager(workers=2, state_dir=state_dir)
+            counts = recovered.recover()
+            recovered.start()
+            try:
+                _faults_await(recovered.jobs())
+                survivors = recovered.jobs()
+                complete = sum(1 for job in survivors
+                               if job.status == "complete")
+                objective_total = sum(
+                    job.result["objective"] for job in survivors
+                    if job.result is not None)
+            finally:
+                recovered.shutdown(wait=True)
+        return {
+            **base,
+            "degraded": stats["health"]["state"] == "degraded",
+            "dispatcher_dead": stats["health"]["dispatcher_dead"],
+            "executed_before_death": executed,
+            "requeued": counts["requeued"],
+            "complete_after_restart": complete,
+            "objective_total": objective_total,
+            "direct_objective_total": sum(_faults_direct(spec)
+                                          for spec in specs),
+        }, None
+
+    raise ValueError(f"unknown faults scenario {scenario!r}")

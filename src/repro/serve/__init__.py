@@ -19,19 +19,29 @@ Module map:
 * :mod:`~repro.serve.protocol` — request validation and JSON record
   shapes (specs in, job/result records out);
 * :mod:`~repro.serve.jobs` — the job manager: queue, worker pool,
-  budget enforcement, checkpoint capture, recovery;
+  budget enforcement, checkpoint capture, retry/watchdog/drain
+  resilience, recovery;
+* :mod:`~repro.serve.health` — the degraded-health circuit breaker
+  behind ``/healthz``;
 * :mod:`~repro.serve.http` — the minimal stdlib HTTP/1.1 layer
   (``asyncio.start_server``) and route table;
-* :mod:`~repro.serve.daemon` — configuration, startup recovery and
-  the ``serve`` CLI entry point.
+* :mod:`~repro.serve.daemon` — configuration, startup recovery,
+  graceful drain and the ``serve`` CLI entry point.
+
+The deterministic fault-injection plane that exercises all of this
+lives in :mod:`repro.faults` and is wired in through
+``JobManager(fault_plan=...)`` / ``serve --fault-plan FILE``.
 """
 
 from .cache import ResultCache
 from .daemon import ServerConfig, main, run_server
-from .jobs import Job, JobManager
+from .health import HealthMonitor
+from .jobs import DrainingError, Job, JobManager
 from .protocol import SpecError, validate_spec
 
 __all__ = [
+    "DrainingError",
+    "HealthMonitor",
     "Job",
     "JobManager",
     "ResultCache",

@@ -2,18 +2,31 @@
 
 ``python -m repro serve --state-dir DIR`` boots in three steps:
 
-1. **recover** — replay the journal in ``--state-dir``: finished jobs
-   re-register (re-seeding the result cache), interrupted jobs re-enter
-   the queue warm-started from their last journaled checkpoint, so a
-   ``kill -9`` mid-solve costs only the rounds since that boundary and
-   the final result is bit-identical to an uninterrupted run;
-2. **start** — spin up the worker pool, dispatcher, and the asyncio
-   HTTP server (``--port 0`` binds an ephemeral port);
+1. **recover** — sweep stale temp files, then replay the journal in
+   ``--state-dir``: finished jobs re-register (re-seeding the result
+   cache), interrupted jobs re-enter the queue warm-started from their
+   last journaled checkpoint, so a ``kill -9`` mid-solve costs only
+   the rounds since that boundary and the final result is
+   bit-identical to an uninterrupted run;
+2. **start** — spin up the worker pool, dispatcher, the optional
+   watchdog, and the asyncio HTTP server (``--port 0`` binds an
+   ephemeral port);
 3. **announce** — print one machine-parsable ready line::
 
        repro-serve listening on http://127.0.0.1:43211 (recovered 0, requeued 1)
 
    then serve until SIGINT/SIGTERM.
+
+Shutdown is a *graceful drain*: on the first signal the daemon stops
+accepting jobs (``POST /jobs`` → 503), asks every running job to stop
+at its next checkpoint boundary, journals each one's final resume
+envelope, and only then exits — so a restarted daemon on the same
+state dir finishes the interrupted work bit-identically.  The exit
+code is nonzero when the drain misses its budget or the dispatcher
+thread fails to stop (a hang a supervisor should treat as a crash).
+
+``--fault-plan FILE`` arms the deterministic fault-injection plane
+(:mod:`repro.faults`) for chaos drills against a live daemon.
 """
 
 from __future__ import annotations
@@ -22,8 +35,10 @@ import asyncio
 import signal
 import sys
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
+from ..errors import FaultPlanError
+from ..faults import FaultPlan
 from .http import ServiceHandler
 from .jobs import JobManager
 
@@ -40,22 +55,44 @@ class ServerConfig:
     #: Sleep after every checkpoint — a test/experiment knob that makes
     #: "kill the daemon mid-solve" scenarios deterministic to aim.
     phase_delay_s: float = 0.0
+    #: Fault-injection plan: a :class:`FaultPlan`, or the path of a
+    #: ``repro-fault-plan/1`` JSON file to load one from.
+    fault_plan: Optional[Union[FaultPlan, str]] = None
+    #: Per-job stall watchdog (seconds without a progress beat before
+    #: the job is truncated to its best certified partial).
+    watchdog_s: Optional[float] = None
+    #: Budget for the SIGTERM graceful drain.
+    drain_timeout_s: float = 10.0
 
 
 def build_manager(config: ServerConfig) -> JobManager:
-    """A configured (not yet started) manager for the daemon or tests."""
+    """A configured (not yet started) manager for the daemon or tests.
 
+    Raises :class:`~repro.errors.FaultPlanError` when
+    ``config.fault_plan`` names an unreadable/malformed plan file.
+    """
+
+    plan = config.fault_plan
+    if isinstance(plan, str):
+        plan = FaultPlan.load(plan)
     return JobManager(
         workers=config.workers,
         state_dir=config.state_dir,
         cache_size=config.cache_size,
         phase_delay_s=config.phase_delay_s,
+        fault_plan=plan,
+        watchdog_s=config.watchdog_s,
     )
 
 
 async def run_server(config: ServerConfig,
-                     manager: Optional[JobManager] = None) -> None:
-    """Recover, start, announce, and serve until signalled."""
+                     manager: Optional[JobManager] = None) -> bool:
+    """Recover, start, announce, serve until signalled, then drain.
+
+    Returns ``True`` when the wind-down was clean (every in-flight job
+    reached a journaled stopping point inside the drain budget and the
+    dispatcher thread stopped).
+    """
 
     if manager is None:
         manager = build_manager(config)
@@ -71,6 +108,13 @@ async def run_server(config: ServerConfig,
         f"requeued {recovered['requeued']})",
         flush=True,
     )
+    if recovered["skipped"] or recovered["swept_tmp"]:
+        print(
+            f"repro-serve recovery: skipped {recovered['skipped']} "
+            f"unreadable journal file(s), swept "
+            f"{recovered['swept_tmp']} stale temp file(s)",
+            file=sys.stderr, flush=True,
+        )
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
     for signum in (signal.SIGINT, signal.SIGTERM):
@@ -80,11 +124,30 @@ async def run_server(config: ServerConfig,
             # Platforms/loops without signal support (or non-main
             # threads in tests) fall back to KeyboardInterrupt.
             pass
+    clean = True
     try:
         async with server:
             await stop.wait()
+            # Graceful drain: journal a resumable stopping point for
+            # every in-flight job before the process goes away.  The
+            # server stays up while it runs, so submissions get a real
+            # 503 and pollers can watch jobs park — the drain itself
+            # polls worker threads, so run it off the event loop.
+            stats = await asyncio.to_thread(
+                manager.drain, config.drain_timeout_s)
+            print(
+                f"repro-serve drained: {stats['drained']} job(s) "
+                f"checkpointed, {stats['queued']} still queued, "
+                f"clean={stats['clean']}",
+                flush=True,
+            )
+            clean = stats["clean"]
     finally:
-        manager.shutdown(wait=False)
+        clean = manager.shutdown(wait=False) and clean
+        if not clean:
+            print("repro-serve shutdown was not clean (drain timeout "
+                  "or hung dispatcher)", file=sys.stderr, flush=True)
+    return clean
 
 
 def main(args) -> int:
@@ -97,16 +160,22 @@ def main(args) -> int:
         state_dir=args.state_dir,
         cache_size=args.cache_size,
         phase_delay_s=args.phase_delay,
+        fault_plan=args.fault_plan,
+        watchdog_s=args.watchdog,
+        drain_timeout_s=args.drain_timeout,
     )
     try:
-        asyncio.run(run_server(config))
+        clean = asyncio.run(run_server(config))
     except KeyboardInterrupt:
-        pass
+        return 0
+    except FaultPlanError as exc:
+        print(f"serve: bad --fault-plan: {exc}", file=sys.stderr)
+        return 2
     except OSError as exc:
         print(f"serve: cannot bind {config.host}:{config.port}: {exc}",
               file=sys.stderr)
         return 1
-    return 0
+    return 0 if clean else 3
 
 
 __all__ = ["ServerConfig", "build_manager", "main", "run_server"]

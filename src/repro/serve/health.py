@@ -1,0 +1,112 @@
+"""Degraded-health tracking for the solver service.
+
+The service used to swallow persistence failures: a journal write that
+raised ``OSError`` either killed the job (write path) or vanished
+silently (remove path), and a dead dispatcher left the daemon
+accepting jobs it would never run.  :class:`HealthMonitor` is the
+circuit breaker those paths now report into — ``/healthz`` serves 503
+with the reasons while the breaker is open, so supervisors and load
+balancers see "up but degraded" instead of silent data loss.
+
+States:
+
+* ``ok`` — everything green (the boot state);
+* ``degraded`` — journal writes failing persistently (``threshold``
+  consecutive failures), repeated worker crashes, or a dead
+  dispatcher.
+
+Journal degradation is self-healing: one successful write closes the
+breaker again (half-open semantics come free because every checkpoint
+retries the write path).  A dead dispatcher is latched — only a
+restart brings the service back, which is exactly what a supervisor
+watching ``/healthz`` should do.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict
+
+OK = "ok"
+DEGRADED = "degraded"
+
+
+class HealthMonitor:
+    """Failure counters plus the breaker verdict they imply."""
+
+    def __init__(self, journal_failure_threshold: int = 3,
+                 worker_crash_threshold: int = 5):
+        self.journal_failure_threshold = journal_failure_threshold
+        self.worker_crash_threshold = worker_crash_threshold
+        self._lock = threading.Lock()
+        self._journal_errors_total = 0
+        self._journal_consecutive = 0
+        self._journal_last_error = None
+        self._worker_crashes = 0
+        self._dispatcher_dead = False
+
+    # -- reporting hooks ----------------------------------------------
+    def journal_error(self, exc: BaseException) -> None:
+        """A journal write/remove failed (called by :class:`Journal`)."""
+
+        with self._lock:
+            self._journal_errors_total += 1
+            self._journal_consecutive += 1
+            self._journal_last_error = f"{type(exc).__name__}: {exc}"
+
+    def journal_ok(self) -> None:
+        """A journal write succeeded — closes the journal breaker."""
+
+        with self._lock:
+            self._journal_consecutive = 0
+
+    def worker_crash(self) -> None:
+        """A job attempt raised (transient or terminal)."""
+
+        with self._lock:
+            self._worker_crashes += 1
+
+    def dispatcher_dead(self) -> None:
+        """The dispatcher thread died or hung — latched until restart."""
+
+        with self._lock:
+            self._dispatcher_dead = True
+
+    # -- verdict -------------------------------------------------------
+    def _reasons(self) -> list:
+        reasons = []
+        if self._dispatcher_dead:
+            reasons.append("dispatcher-dead")
+        if self._journal_consecutive >= self.journal_failure_threshold:
+            reasons.append(
+                f"journal-degraded ({self._journal_consecutive} "
+                f"consecutive failures; last: "
+                f"{self._journal_last_error})")
+        if self._worker_crashes >= self.worker_crash_threshold:
+            reasons.append(
+                f"worker-crashes ({self._worker_crashes} attempts "
+                "failed)")
+        return reasons
+
+    @property
+    def degraded(self) -> bool:
+        with self._lock:
+            return bool(self._reasons())
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The ``/healthz`` and ``/stats`` health block."""
+
+        with self._lock:
+            reasons = self._reasons()
+            return {
+                "state": DEGRADED if reasons else OK,
+                "reasons": reasons,
+                "journal_errors_total": self._journal_errors_total,
+                "journal_consecutive_failures":
+                    self._journal_consecutive,
+                "worker_crashes": self._worker_crashes,
+                "dispatcher_dead": self._dispatcher_dead,
+            }
+
+
+__all__ = ["DEGRADED", "OK", "HealthMonitor"]

@@ -7,7 +7,8 @@ close``), JSON bodies both ways.  Routes:
 ========  ======================  =======================================
 method    path                    purpose
 ========  ======================  =======================================
-GET       ``/healthz``            liveness probe (always 200 once up)
+GET       ``/healthz``            health probe: 200 while ok, 503 with
+                                  reasons while degraded or draining
 GET       ``/stats``              the :meth:`JobManager.stats` snapshot
 POST      ``/jobs``               submit a spec → 201 + job record
 GET       ``/jobs``               list job records (no results inline)
@@ -29,7 +30,7 @@ import asyncio
 import json
 from typing import Any, Dict, Optional, Tuple
 
-from .jobs import JobManager
+from .jobs import DrainingError, JobManager
 from .protocol import SpecError
 
 #: Largest request body accepted (a spec is tiny; anything bigger is
@@ -44,11 +45,16 @@ _REASONS = {
     405: "Method Not Allowed",
     413: "Payload Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
 class _BadRequest(Exception):
     """Malformed HTTP input (maps to a 400 response)."""
+
+
+class _PayloadTooLarge(_BadRequest):
+    """Body over :data:`MAX_BODY` (maps to 413, body never read)."""
 
 
 def _encode_response(status: int, payload: Any,
@@ -90,7 +96,8 @@ async def _read_request(
         headers[name.strip().lower()] = value.strip()
     length = int(headers.get("content-length", "0") or "0")
     if length > MAX_BODY:
-        raise _BadRequest("body too large")
+        raise _PayloadTooLarge(f"body of {length} bytes exceeds the "
+                               f"{MAX_BODY}-byte limit")
     body = await reader.readexactly(length) if length else b""
     path = target.split("?", 1)[0]
     return method.upper(), path, headers, body
@@ -111,6 +118,10 @@ class ServiceHandler:
         try:
             try:
                 method, path, _headers, body = await _read_request(reader)
+            except _PayloadTooLarge as exc:
+                writer.write(_encode_response(
+                    413, {"error": str(exc)}))
+                return
             except (_BadRequest, asyncio.IncompleteReadError,
                     ValueError) as exc:
                 writer.write(_encode_response(
@@ -143,8 +154,15 @@ class ServiceHandler:
         if path == "/healthz":
             if method != "GET":
                 return 405, {"error": "healthz is GET-only"}
-            stats = self.manager.stats()
-            return 200, {"ok": True, "jobs": stats["jobs"]["total"]}
+            health = self.manager.health.snapshot()
+            jobs = len(self.manager.jobs())
+            if self.manager.draining:
+                return 503, {"ok": False, "state": "draining",
+                             "reasons": ["draining"], "jobs": jobs}
+            if health["state"] != "ok":
+                return 503, {"ok": False, "state": health["state"],
+                             "reasons": health["reasons"], "jobs": jobs}
+            return 200, {"ok": True, "state": "ok", "jobs": jobs}
         if path == "/stats":
             if method != "GET":
                 return 405, {"error": "stats is GET-only"}
@@ -176,6 +194,8 @@ class ServiceHandler:
             job = self.manager.submit(parsed)
         except SpecError as exc:
             return 400, {"error": str(exc)}
+        except DrainingError as exc:
+            return 503, {"error": str(exc)}
         return 201, job.record()
 
     # -- checkpoint streaming ------------------------------------------
@@ -183,7 +203,14 @@ class ServiceHandler:
                       job_id: str) -> None:
         """Chunked transfer: one JSON line per observed job update
         (new checkpoint or status flip), ending with the terminal
-        record."""
+        record.
+
+        A client hanging up mid-stream is routine, not an error: the
+        write loop stops, the writer is released, and the job itself
+        keeps running to its terminal record.  The ``stream.disconnect``
+        fault site rehearses exactly that by dropping the connection
+        from the server side.
+        """
 
         job = self.manager.get(job_id)
         if job is None:
@@ -196,26 +223,35 @@ class ServiceHandler:
             "Transfer-Encoding: chunked\r\n"
             "Connection: close\r\n\r\n"
         )
-        writer.write(head.encode("ascii"))
 
         def chunk(record: Dict[str, Any]) -> bytes:
             line = (json.dumps(record, sort_keys=True) + "\n").encode(
                 "utf-8")
             return f"{len(line):x}\r\n".encode("ascii") + line + b"\r\n"
 
-        seen = (-1, "")
-        while True:
-            record = job.record()
-            marker = (record["checkpoints"], record["status"])
-            if marker != seen:
-                seen = marker
-                writer.write(chunk(record))
-                await writer.drain()
-            if job.done:
-                break
-            await asyncio.sleep(self.stream_poll_s)
-        writer.write(b"0\r\n\r\n")
-        await writer.drain()
+        faults = self.manager.faults
+        try:
+            writer.write(head.encode("ascii"))
+            seen = (-1, "")
+            while True:
+                if faults is not None and faults.roll(
+                        "stream.disconnect", scope=job_id):
+                    return
+                record = job.record()
+                marker = (record["checkpoints"], record["status"])
+                if marker != seen:
+                    seen = marker
+                    writer.write(chunk(record))
+                    await writer.drain()
+                if job.done:
+                    break
+                await asyncio.sleep(self.stream_poll_s)
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        except (ConnectionError, TimeoutError):
+            # The peer went away; nothing to clean up beyond the
+            # writer, which handle()'s finally already closes.
+            return
 
 
 __all__ = ["MAX_BODY", "ServiceHandler"]

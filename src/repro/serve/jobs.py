@@ -5,10 +5,15 @@ Lifecycle (the state machine ``docs/ARCHITECTURE.md`` documents)::
     submit ──cache hit──────────────► complete/truncated  (terminal)
       │
       └─► queued ─► running ─┬─► complete   (terminal)
-             ▲               ├─► truncated  (terminal: round or wall
-             │               │               budget exhausted; best
-             │               │               certified partial result)
-             │               └─► failed     (terminal)
+             ▲               ├─► truncated  (terminal: round, wall or
+             │               │               watchdog budget exhausted;
+             │               │               best certified partial)
+             │               ├─► failed     (terminal, after bounded
+             │               │               retries for transient
+             │               │               faults)
+             │               └─► queued     (graceful drain: final
+             │                               checkpoint journaled, job
+             │                               resumes on restart)
              │
         (restart recovery: journaled non-terminal jobs re-enter the
          queue, warm-started from their last journaled checkpoint)
@@ -22,6 +27,17 @@ task drives :func:`repro.api.solve_iter` so the job streams per-phase
 checkpoints, journals every captured ``resume_state`` (crash safety),
 and can stop at a wall-clock deadline with the best certified partial
 solution (SLA truncation).
+
+Resilience plane (PR 8): a seeded
+:class:`~repro.faults.FaultPlan` injects deterministic failures at the
+compiled-in sites (transient worker exceptions, stalls, journal I/O
+errors, dispatcher death); the hardening it exercises is always on —
+bounded :class:`~repro.faults.RetryPolicy` retries for transient
+failures (each attempt warm-starts from the last journaled checkpoint,
+so a retried run stays bit-identical to a fault-free one), a per-job
+watchdog that converts stalls into certified ``truncated`` partials,
+a :class:`~repro.serve.health.HealthMonitor` circuit breaker behind
+``/healthz``, and :meth:`JobManager.drain` for SIGTERM.
 """
 
 from __future__ import annotations
@@ -36,7 +52,9 @@ from typing import Any, Dict, List, Optional
 
 from ..api import execute_indexed, solve_iter
 from ..api.persist import instance_from_workload
+from ..faults import DEFAULT_RETRY, FaultPlan, RetryPolicy
 from .cache import ResultCache
+from .health import HealthMonitor
 from .journal import TERMINAL_STATUSES, Journal, job_record
 from .protocol import (
     result_record,
@@ -51,6 +69,11 @@ COMPLETE = "complete"
 TRUNCATED = "truncated"
 FAILED = "failed"
 STATUSES = (QUEUED, RUNNING, COMPLETE, TRUNCATED, FAILED)
+
+
+class DrainingError(RuntimeError):
+    """Submission rejected because the manager is draining (the HTTP
+    layer maps this to 503)."""
 
 
 @dataclass
@@ -68,13 +91,41 @@ class Job:
     cache_hit: bool = False
     recovered: bool = False
     seconds: Optional[float] = None
-    #: Warm-start payload a recovered job continues from (not exposed).
+    #: Execution attempts consumed (1 for a clean first run; transient
+    #: failures increment it up to the retry policy's bound).
+    attempts: int = 0
+    #: Per-attempt error strings, oldest first (empty on a clean run).
+    attempt_errors: List[str] = field(default_factory=list)
+    #: Warm-start payload a recovered/retried job continues from.
     warm_payload: Optional[Dict[str, Any]] = field(default=None,
                                                   repr=False)
+    #: Cooperative-cancellation signal (watchdog / drain), with the
+    #: reason recorded so the runner knows how to wind the job down.
+    abort_event: threading.Event = field(default_factory=threading.Event,
+                                         repr=False, compare=False)
+    abort_reason: Optional[str] = field(default=None, repr=False)
+    #: Monotonic timestamp of the last observed progress (checkpoint
+    #: or state flip) — what the watchdog ages against.
+    last_beat: Optional[float] = field(default=None, repr=False)
+    #: Guard so exactly one of {worker, watchdog} finishes the job.
+    finishing: bool = field(default=False, repr=False)
+    #: Best certified checkpoint seen so far (in-memory only; the
+    #: watchdog adopts it when it truncates a stalled job externally).
+    best_checkpoint: Any = field(default=None, repr=False, compare=False)
 
     @property
     def done(self) -> bool:
         return self.status in TERMINAL_STATUSES
+
+    def beat(self) -> None:
+        self.last_beat = time.monotonic()
+
+    def abort(self, reason: str) -> None:
+        """Request cooperative cancellation (first reason wins)."""
+
+        if not self.abort_event.is_set():
+            self.abort_reason = reason
+            self.abort_event.set()
 
     def record(self, include_result: bool = True) -> Dict[str, Any]:
         """The job as the HTTP layer reports it."""
@@ -89,6 +140,8 @@ class Job:
             "error": self.error,
             "cache_hit": self.cache_hit,
             "recovered": self.recovered,
+            "attempts": self.attempts,
+            "attempt_errors": list(self.attempt_errors),
         }
         if include_result:
             out["result"] = self.result
@@ -110,34 +163,50 @@ def _checkpoint_record(checkpoint) -> Dict[str, Any]:
 
 
 class JobManager:
-    """Queue, worker pool, cache, journal and observability counters."""
+    """Queue, worker pool, cache, journal, health and fault plane."""
 
     def __init__(self, workers: int = 2,
                  state_dir: Optional[str] = None,
                  cache_size: int = 128,
-                 phase_delay_s: float = 0.0):
+                 phase_delay_s: float = 0.0,
+                 fault_plan: Optional[FaultPlan] = None,
+                 retry: Optional[RetryPolicy] = DEFAULT_RETRY,
+                 watchdog_s: Optional[float] = None):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if watchdog_s is not None and watchdog_s <= 0:
+            raise ValueError(
+                f"watchdog_s must be positive, got {watchdog_s}")
         self.workers = workers
         #: Test/experiment knob: sleep this long after every checkpoint
         #: so kill-mid-solve scenarios can aim between phases.
         self.phase_delay_s = phase_delay_s
+        self.faults = fault_plan
+        self.retry = retry
+        self.watchdog_s = watchdog_s
+        self.health = HealthMonitor()
         self.cache = ResultCache(maxsize=cache_size)
-        self.journal = Journal(state_dir)
+        self.journal = Journal(state_dir, health=self.health,
+                               fault_plan=fault_plan)
         self._jobs: Dict[str, Job] = {}
         self._order: List[str] = []
         self._lock = threading.RLock()
         self._inbox: "queue.Queue[Optional[str]]" = queue.Queue()
         self._stop = threading.Event()
+        self._draining = threading.Event()
         self._pool: Optional[ThreadPoolExecutor] = None
         self._dispatcher: Optional[threading.Thread] = None
+        self._watchdog: Optional[threading.Thread] = None
         self._batches = 0
         self._latencies: List[float] = []
         self._seq = itertools.count(1)
+        self._recovery = {"restored": 0, "requeued": 0, "skipped": 0,
+                          "swept_tmp": 0}
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> None:
-        """Spin up the worker pool and dispatcher (idempotent)."""
+        """Spin up the worker pool, dispatcher and watchdog
+        (idempotent)."""
 
         if self._pool is not None:
             return
@@ -149,16 +218,86 @@ class JobManager:
             daemon=True,
         )
         self._dispatcher.start()
+        if self.watchdog_s is not None:
+            self._watchdog = threading.Thread(
+                target=self._watchdog_loop, name="repro-serve-watchdog",
+                daemon=True,
+            )
+            self._watchdog.start()
 
-    def shutdown(self, wait: bool = False) -> None:
-        """Stop dispatching; optionally wait for in-flight jobs."""
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def drain(self, timeout_s: float = 10.0) -> Dict[str, Any]:
+        """Graceful wind-down: stop accepting, stop dispatching, and
+        bring every in-flight job to a journaled stopping point.
+
+        Running jobs are asked to stop at their next checkpoint
+        boundary; each journals a final ``queued`` record carrying its
+        freshest resume envelope and re-enters (in-memory) ``queued``
+        state, so a restart on the same state dir requeues and
+        finishes it **bit-identically** to a never-stopped run.  Jobs
+        still waiting in the queue keep the ``queued`` record they
+        were journaled with at submission.  Returns drain stats
+        (``clean`` is False if a job missed the timeout).
+        """
+
+        started = time.monotonic()
+        self._draining.set()
+        self._stop.set()
+        self._inbox.put(None)
+        with self._lock:
+            running = [job for job in self._jobs.values()
+                       if job.status == RUNNING]
+            queued = [job for job in self._jobs.values()
+                      if job.status == QUEUED]
+        for job in running:
+            job.abort("drain")
+        deadline = started + timeout_s
+        clean = True
+        for job in running:
+            while job.status == RUNNING:
+                if time.monotonic() > deadline:
+                    clean = False
+                    break
+                time.sleep(0.005)
+        if self._dispatcher is not None:
+            self._dispatcher.join(
+                timeout=max(0.1, deadline - time.monotonic()))
+            clean = clean and not self._dispatcher.is_alive()
+        drained = sum(1 for job in running if job.status == QUEUED)
+        return {
+            "drained": drained,
+            "queued": len(queued),
+            "terminal": sum(1 for job in running if job.done),
+            "clean": clean,
+            "seconds": time.monotonic() - started,
+        }
+
+    def shutdown(self, wait: bool = False) -> bool:
+        """Stop dispatching; optionally wait for in-flight jobs.
+
+        Returns ``True`` for a clean stop.  A dispatcher thread that
+        fails to exit within the join timeout is a hang: health is
+        degraded and ``False`` comes back so the daemon can exit
+        nonzero and get itself restarted by a supervisor.
+        """
 
         self._stop.set()
         self._inbox.put(None)
+        clean = True
         if self._dispatcher is not None:
             self._dispatcher.join(timeout=5)
+            if self._dispatcher.is_alive():
+                self.health.dispatcher_dead()
+                clean = False
+        if self._watchdog is not None:
+            self._watchdog.join(timeout=5)
+            clean = clean and not self._watchdog.is_alive()
         if self._pool is not None:
             self._pool.shutdown(wait=wait)
+        return clean
 
     # -- recovery ------------------------------------------------------
     def recover(self) -> Dict[str, int]:
@@ -169,10 +308,14 @@ class JobManager:
         result cache; non-terminal records re-enter the queue, warm-
         started from their last journaled checkpoint when one was
         captured (otherwise the deterministic cold rerun *is* the
-        uninterrupted run).  Returns ``{"restored": n, "requeued": m}``.
+        uninterrupted run).  Stale ``*.tmp.<pid>`` leftovers of
+        crashed atomic writes are swept first, and unreadable/foreign
+        journal files are counted, not silently skipped.  Returns
+        ``{"restored", "requeued", "skipped", "swept_tmp"}``.
         """
 
         restored = requeued = 0
+        swept = self.journal.sweep_stale_tmp()
         max_seq = 0
         with self._lock:
             for job_id, record in self.journal.replay():
@@ -208,17 +351,24 @@ class JobManager:
                 self._inbox.put(job_id)
                 requeued += 1
             self._seq = itertools.count(max_seq + 1)
-        return {"restored": restored, "requeued": requeued}
+        stats = {"restored": restored, "requeued": requeued,
+                 "skipped": self.journal.last_skipped,
+                 "swept_tmp": swept}
+        self._recovery = stats
+        return stats
 
     # -- submission ----------------------------------------------------
     def submit(self, body: Any) -> Job:
         """Validate a spec and enqueue (or instantly serve) its job.
 
-        Raises :class:`~repro.serve.protocol.SpecError` on a bad spec.
-        A result-cache hit never queues: the job is born terminal with
+        Raises :class:`~repro.serve.protocol.SpecError` on a bad spec
+        and :class:`DrainingError` once :meth:`drain` has begun.  A
+        result-cache hit never queues: the job is born terminal with
         the cached record.
         """
 
+        if self._draining.is_set():
+            raise DrainingError("service is draining; not accepting jobs")
         spec = validate_spec(body)
         key = spec_cache_key(spec)
         cached = self.cache.get(key)
@@ -249,18 +399,20 @@ class JobManager:
             return [self._jobs[job_id] for job_id in self._order]
 
     def stats(self) -> Dict[str, Any]:
-        """The ``GET /stats`` payload (and the load experiment's raw
-        material): job/queue/cache/latency/round counters."""
+        """The ``GET /stats`` payload (and the load/faults
+        experiments' raw material): job/queue/cache/latency/round
+        counters plus health, retry and recovery observability."""
 
         from ..experiments.runner import percentile
 
         with self._lock:
             by_status = {status: 0 for status in STATUSES}
-            rounds = checkpoints = 0
+            rounds = checkpoints = retries = 0
             for job in self._jobs.values():
                 by_status[job.status] = by_status.get(job.status, 0) + 1
                 rounds += job.rounds
                 checkpoints += job.checkpoints
+                retries += max(0, job.attempts - 1)
             latencies = list(self._latencies)
             batches = self._batches
             total = len(self._jobs)
@@ -277,6 +429,11 @@ class JobManager:
             "latency": latency,
             "rounds_total": rounds,
             "checkpoints_total": checkpoints,
+            "retries_total": retries,
+            "health": self.health.snapshot(),
+            "recovery": dict(self._recovery),
+            "journal_errors": self.journal.errors,
+            "draining": self._draining.is_set(),
         }
 
     # -- journaling ----------------------------------------------------
@@ -300,31 +457,43 @@ class JobManager:
     def _dispatch_loop(self) -> None:
         """Drain submissions into batches; each batch fans out through
         :func:`execute_indexed` on the shared pool (its own thread, so
-        a slow batch never blocks the next one)."""
+        a slow batch never blocks the next one).
 
-        while not self._stop.is_set():
-            try:
-                first = self._inbox.get(timeout=0.05)
-            except queue.Empty:
-                continue
-            if first is None:
-                break
-            batch = [first]
-            while True:
+        A dispatcher crash (real, or the ``dispatcher.death`` fault
+        site) must not be invisible: the exception degrades health, so
+        ``/healthz`` turns 503 while queued jobs — still journaled —
+        wait for the restart that recovers them.
+        """
+
+        try:
+            while not self._stop.is_set():
                 try:
-                    item = self._inbox.get_nowait()
+                    first = self._inbox.get(timeout=0.05)
                 except queue.Empty:
+                    continue
+                if first is None:
                     break
-                if item is None:
-                    self._stop.set()
-                    break
-                batch.append(item)
-            with self._lock:
-                self._batches += 1
-            threading.Thread(
-                target=self._run_batch, args=(batch,),
-                name="repro-serve-batch", daemon=True,
-            ).start()
+                batch = [first]
+                while True:
+                    try:
+                        item = self._inbox.get_nowait()
+                    except queue.Empty:
+                        break
+                    if item is None:
+                        self._stop.set()
+                        break
+                    batch.append(item)
+                if self.faults is not None:
+                    self.faults.maybe_raise("dispatcher.death",
+                                            scope="dispatch")
+                with self._lock:
+                    self._batches += 1
+                threading.Thread(
+                    target=self._run_batch, args=(batch,),
+                    name="repro-serve-batch", daemon=True,
+                ).start()
+        except Exception:  # noqa: BLE001 — dying loudly, not silently
+            self.health.dispatcher_dead()
 
     def _run_batch(self, batch: List[str]) -> None:
         try:
@@ -334,35 +503,98 @@ class JobManager:
             with self._lock:
                 self._batches -= 1
 
+    # -- watchdog ------------------------------------------------------
+    def _watchdog_loop(self) -> None:
+        """Convert stalled jobs into certified ``truncated`` partials.
+
+        A running job whose last progress beat is older than
+        ``watchdog_s`` is aborted cooperatively *and* finished
+        externally from its best certified checkpoint — so even a
+        phase the runner cannot interrupt yields a valid partial
+        result instead of hanging the client forever (the abandoned
+        worker thread's late result is discarded by the finish guard).
+        """
+
+        interval = min(0.05, self.watchdog_s / 4.0)
+        while not self._stop.wait(interval):
+            now = time.monotonic()
+            with self._lock:
+                stalled = [
+                    job for job in self._jobs.values()
+                    if job.status == RUNNING
+                    and job.last_beat is not None
+                    and now - job.last_beat > self.watchdog_s
+                ]
+            for job in stalled:
+                job.abort("watchdog")
+                record = truncated_result_record(
+                    job.spec, job.best_checkpoint, job.warm_payload,
+                    job.spec["workload"]["problem"],
+                )
+                # Watchdog records are timing-dependent (where the
+                # stall hit): never cache them.
+                self._finish(job, record, seconds=0.0, cacheable=False)
+
     # -- execution -----------------------------------------------------
     def _execute_task(self, job_id: str) -> str:
-        """Worker body for one job (exceptions land on the job, not
-        the batch — belt to ``execute_indexed``'s braces)."""
+        """Worker body for one job: bounded retries around
+        :meth:`_execute` (exceptions land on the job, not the batch —
+        belt to ``execute_indexed``'s braces)."""
 
         job = self.get(job_id)
         if job is None or job.done:
             return job_id
-        try:
-            self._execute(job)
-        except Exception as exc:  # noqa: BLE001 — jobs must not sink pool
-            with self._lock:
-                job.error = f"{type(exc).__name__}: {exc}"
-            # Journal before flipping the status: the moment a poller
-            # sees the job terminal, the journal already agrees.
-            self.journal.write(job_record(
-                job.id, job.spec, FAILED, rounds=job.rounds,
-                error=job.error,
-            ))
-            with self._lock:
-                job.status = FAILED
+        if self._draining.is_set():
+            # Never started: the submit-time ``queued`` journal record
+            # already describes this job for the restart to pick up.
+            return job_id
+        max_attempts = (self.retry.max_attempts
+                        if self.retry is not None else 1)
+        for attempt in range(1, max_attempts + 1):
+            try:
+                self._execute(job, attempt)
+                return job_id
+            except Exception as exc:  # noqa: BLE001 — jobs must not sink pool
+                self.health.worker_crash()
+                error = f"{type(exc).__name__}: {exc}"
+                with self._lock:
+                    job.attempts = attempt
+                    job.attempt_errors.append(error)
+                    job.error = error
+                retryable = (self.retry is not None
+                             and self.retry.retryable(exc)
+                             and attempt < max_attempts)
+                if retryable:
+                    # Deterministically jittered backoff, interruptible
+                    # by drain/watchdog.
+                    aborted = job.abort_event.wait(
+                        self.retry.delay(attempt, key=job.id))
+                    if aborted and job.abort_reason == "drain":
+                        self._drain_requeue(job, job.warm_payload)
+                        return job_id
+                    continue
+                # Journal before flipping the status: the moment a
+                # poller sees the job terminal, the journal agrees.
+                self.journal.write(job_record(
+                    job.id, job.spec, FAILED, rounds=job.rounds,
+                    error=job.error,
+                ))
+                with self._lock:
+                    job.status = FAILED
+                return job_id
         return job_id
 
-    def _execute(self, job: Job) -> None:
+    def _execute(self, job: Job, attempt: int = 1) -> None:
         """Drive one job's checkpoint stream to a terminal record."""
 
         spec = job.spec
         with self._lock:
             job.status = RUNNING
+            job.attempts = attempt
+            job.beat()
+        if self.faults is not None:
+            self.faults.maybe_raise("worker.transient",
+                                    scope=f"{job.id}:a{attempt}")
         self._journal_running(job, payload=job.warm_payload)
         problem = spec["workload"]["problem"]
         instance = instance_from_workload(
@@ -375,7 +607,7 @@ class JobManager:
         stream = solve_iter(instance, spec["algorithm"], problem=problem,
                             warm_start=job.warm_payload,
                             **spec["options"])
-        best = None
+        best = job.best_checkpoint
         last_payload = job.warm_payload
         report = None
         while True:
@@ -385,18 +617,48 @@ class JobManager:
                 report = stop.value
                 break
             with self._lock:
+                if job.done:
+                    # The watchdog finished this job externally while a
+                    # phase ran long; the late stream is abandoned.
+                    stream.close()
+                    return
                 job.checkpoints += 1
                 job.rounds = checkpoint.rounds
                 job.latest = _checkpoint_record(checkpoint)
+                job.beat()
             if checkpoint.valid:
                 best = checkpoint
+                job.best_checkpoint = checkpoint
                 if checkpoint.resume_state is not None:
                     last_payload = checkpoint.resume_state
                     # Crash safety: the journal always holds the
-                    # newest resumable boundary.
+                    # newest resumable boundary — and a retried or
+                    # drained attempt warm-starts from it.
+                    job.warm_payload = last_payload
                     self._journal_running(job, payload=last_payload)
+            if self.faults is not None and self.faults.roll(
+                    "worker.stall", scope=f"{job.id}:c{job.checkpoints}"):
+                # The stall waits on the abort event, so watchdog and
+                # drain can cut it short.
+                job.abort_event.wait(
+                    self.faults.rule("worker.stall").stall_s)
             if self.phase_delay_s:
-                time.sleep(self.phase_delay_s)
+                job.abort_event.wait(self.phase_delay_s)
+            if job.abort_event.is_set():
+                stream.close()
+                if job.abort_reason == "drain":
+                    self._drain_requeue(job, last_payload)
+                    return
+                # Watchdog abort: adopt the best certified checkpoint
+                # (the watchdog usually beat us to _finish; the guard
+                # makes the second call a no-op).
+                record = truncated_result_record(
+                    spec, best, last_payload, problem,
+                )
+                self._finish(job, record,
+                             time.perf_counter() - started,
+                             cacheable=False)
+                return
             if deadline is not None and time.monotonic() >= deadline:
                 # SLA truncation: stop the run cooperatively and adopt
                 # the best certified checkpoint the deadline admitted.
@@ -414,14 +676,36 @@ class JobManager:
         record = result_record(report)
         self._finish(job, record, time.perf_counter() - started)
 
+    def _drain_requeue(self, job: Job,
+                       payload: Optional[Dict[str, Any]]) -> None:
+        """Wind one running job down for drain: journal a final
+        non-terminal record with its freshest resume envelope, then
+        park it back in ``queued`` so restart recovery resumes it."""
+
+        if payload is None:
+            payload = job.warm_payload
+        self.journal.write(job_record(
+            job.id, job.spec, QUEUED, rounds=job.rounds,
+            payload=payload,
+        ))
+        with self._lock:
+            job.warm_payload = payload
+            job.status = QUEUED
+
     def _finish(self, job: Job, record: Dict[str, Any],
-                seconds: float, cacheable: bool = True) -> None:
+                seconds: float, cacheable: bool = True) -> bool:
+        with self._lock:
+            if job.done or job.finishing:
+                return False
+            job.finishing = True
         if cacheable:
             self.cache.put(spec_cache_key(job.spec), record)
         with self._lock:
             job.result = record
             job.rounds = record["rounds"]
             job.seconds = seconds
+            if job.attempts == 0:
+                job.attempts = 1
             self._latencies.append(seconds)
         # Journal before flipping the status: the status change is the
         # commit point pollers observe, so once ``job.done`` is true the
@@ -432,7 +716,8 @@ class JobManager:
         ))
         with self._lock:
             job.status = record["status"]
+        return True
 
 
-__all__ = ["Job", "JobManager", "COMPLETE", "FAILED", "QUEUED",
-           "RUNNING", "STATUSES", "TRUNCATED"]
+__all__ = ["DrainingError", "Job", "JobManager", "COMPLETE", "FAILED",
+           "QUEUED", "RUNNING", "STATUSES", "TRUNCATED"]

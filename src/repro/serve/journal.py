@@ -14,7 +14,8 @@ identity::
       "format": "repro-serve-job/1",
       "job_id": "job-000001-<fingerprint>",
       "spec": { ...the submitted spec, verbatim... },
-      "status": "running" | "complete" | "truncated" | "failed",
+      "status": "running" | "queued" | "complete" | "truncated"
+                | "failed",
       "rounds": <rounds consumed at the last checkpoint>,
       "envelope": { ...repro-resume-file/1... } | null,
       "result": { ...terminal result record... } | null,
@@ -26,6 +27,15 @@ re-registered (and re-seed the result cache); non-terminal records are
 re-queued, warm-started from their envelope when one was captured —
 the resume contract then makes the finished job bit-identical to the
 uninterrupted run.
+
+Failure routing: a journal I/O error is *reported*, never swallowed
+and never fatal to the job.  Write/remove failures land on the
+:class:`~repro.serve.health.HealthMonitor` the manager wires in, which
+flips ``/healthz`` to ``degraded`` after persistent failure; the job
+itself keeps running on in-memory state (best-effort persistence,
+loud).  ``replay`` counts unreadable/foreign files instead of silently
+skipping them, and :meth:`sweep_stale_tmp` clears the ``*.tmp.<pid>``
+leftovers a crash mid-atomic-write leaves behind.
 """
 
 from __future__ import annotations
@@ -67,10 +77,22 @@ def job_record(job_id: str, spec: Dict[str, Any], status: str,
 
 
 class Journal:
-    """The state directory: one atomic JSON file per job."""
+    """The state directory: one atomic JSON file per job.
 
-    def __init__(self, state_dir: Optional[str]):
+    ``health`` is the degraded-health sink for I/O errors (optional —
+    standalone journals just count them); ``fault_plan`` arms the
+    ``journal.write`` / ``journal.tmp`` injection sites.
+    """
+
+    def __init__(self, state_dir: Optional[str], health=None,
+                 fault_plan=None):
         self.state_dir = state_dir
+        self.health = health
+        self.fault_plan = fault_plan
+        #: Unreadable/foreign files seen by the most recent `replay`.
+        self.last_skipped = 0
+        #: Journal I/O errors observed over this journal's lifetime.
+        self.errors = 0
         if state_dir is not None:
             os.makedirs(state_dir, exist_ok=True)
 
@@ -83,36 +105,102 @@ class Journal:
     def path(self, job_id: str) -> str:
         return os.path.join(self.state_dir, f"{job_id}.json")
 
-    def write(self, record: Dict[str, Any]) -> None:
-        """Atomically persist one job record (no-op when disabled)."""
+    def _report_error(self, exc: BaseException) -> None:
+        self.errors += 1
+        if self.health is not None:
+            self.health.journal_error(exc)
+
+    def write(self, record: Dict[str, Any]) -> bool:
+        """Atomically persist one job record (no-op when disabled).
+
+        Returns whether the record is durable.  An ``OSError`` (real
+        or injected) is routed to the health monitor and degrades the
+        service instead of killing the job: the run continues on
+        in-memory state and the *next* successful write restores
+        health.
+        """
 
         if not self.enabled:
-            return
-        write_envelope(self.path(record["job_id"]), record)
+            return False
+        path = self.path(record["job_id"])
+        try:
+            if self.fault_plan is not None:
+                if self.fault_plan.roll("journal.tmp",
+                                        scope=record["job_id"]):
+                    # A simulated crash between temp-write and replace:
+                    # the stale file recovery must sweep.
+                    with open(f"{path}.tmp.99999", "w",
+                              encoding="utf-8") as handle:
+                        handle.write('{"torn": ')
+                self.fault_plan.maybe_raise("journal.write",
+                                            scope=record["job_id"])
+            write_envelope(path, record)
+        except OSError as exc:
+            self._report_error(exc)
+            return False
+        if self.health is not None:
+            self.health.journal_ok()
+        return True
 
     def remove(self, job_id: str) -> None:
-        """Forget one job (no-op when disabled or already gone)."""
+        """Forget one job (no-op when disabled or already gone).
 
-        if not self.enabled:
-            return
-        try:
-            os.remove(self.path(job_id))
-        except OSError:
-            pass
-
-    def replay(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
-        """Yield ``(job_id, record)`` for every well-formed journal
-        file, in job-id order (deterministic recovery order).
-
-        Unreadable or foreign files are skipped — a half-written temp
-        file left by a crash must not poison the restart.
+        Only ``FileNotFoundError`` is expected; any other ``OSError``
+        (permissions, I/O) is a persistence defect and degrades
+        health like a failed write.
         """
 
         if not self.enabled:
             return
         try:
+            os.remove(self.path(job_id))
+        except FileNotFoundError:
+            pass
+        except OSError as exc:
+            self._report_error(exc)
+
+    def sweep_stale_tmp(self) -> int:
+        """Delete ``*.json.tmp.<pid>`` leftovers of crashed atomic
+        writes (run during recovery, before replay).  Returns the
+        number swept."""
+
+        if not self.enabled:
+            return 0
+        swept = 0
+        try:
+            names = os.listdir(self.state_dir)
+        except OSError as exc:
+            self._report_error(exc)
+            return 0
+        for name in names:
+            if ".json.tmp." not in name:
+                continue
+            try:
+                os.remove(os.path.join(self.state_dir, name))
+                swept += 1
+            except FileNotFoundError:
+                pass
+            except OSError as exc:
+                self._report_error(exc)
+        return swept
+
+    def replay(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        """Yield ``(job_id, record)`` for every well-formed journal
+        file, in job-id order (deterministic recovery order).
+
+        Unreadable or foreign files must not poison the restart, but
+        they are no longer invisible either: the count lands in
+        :attr:`last_skipped`, which ``recover()`` surfaces in its
+        stats and ``/stats`` reports.
+        """
+
+        self.last_skipped = 0
+        if not self.enabled:
+            return
+        try:
             names = sorted(os.listdir(self.state_dir))
-        except OSError:
+        except OSError as exc:
+            self._report_error(exc)
             return
         for name in names:
             if not name.endswith(".json"):
@@ -122,11 +210,13 @@ class Journal:
                           encoding="utf-8") as handle:
                     record = json.load(handle)
             except (OSError, ValueError):
+                self.last_skipped += 1
                 continue
             if (not isinstance(record, dict)
                     or record.get("format") != JOB_FILE_FORMAT
                     or not isinstance(record.get("job_id"), str)
                     or not isinstance(record.get("spec"), dict)):
+                self.last_skipped += 1
                 continue
             yield record["job_id"], record
 

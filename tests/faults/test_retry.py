@@ -1,0 +1,70 @@
+"""RetryPolicy: deterministic backoff, classification, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError, TransientFault
+from repro.faults import DEFAULT_RETRY, RETRYABLE, RetryPolicy
+
+
+class TestDelay:
+    def test_deterministic_per_key_and_attempt(self):
+        policy = RetryPolicy(seed=3)
+        again = RetryPolicy(seed=3)
+        for attempt in (1, 2, 3):
+            assert policy.delay(attempt, key="job-1") == \
+                again.delay(attempt, key="job-1")
+
+    def test_keys_decorrelate(self):
+        policy = RetryPolicy()
+        delays = {policy.delay(1, key=f"job-{i}") for i in range(8)}
+        assert len(delays) == 8
+
+    def test_exponential_growth_within_jitter_envelope(self):
+        policy = RetryPolicy(base_delay_s=0.1, factor=2.0,
+                             max_delay_s=100.0, jitter=0.5)
+        for attempt in (1, 2, 3, 4):
+            base = 0.1 * 2.0 ** (attempt - 1)
+            delay = policy.delay(attempt, key="k")
+            assert base <= delay <= base * 1.5
+
+    def test_cap_at_max_delay(self):
+        policy = RetryPolicy(base_delay_s=1.0, factor=10.0,
+                             max_delay_s=2.0, jitter=0.0)
+        assert policy.delay(5, key="k") == 2.0
+
+    def test_zero_jitter_is_exact(self):
+        policy = RetryPolicy(base_delay_s=0.25, factor=2.0, jitter=0.0)
+        assert policy.delay(1) == 0.25
+        assert policy.delay(2) == 0.5
+
+
+class TestClassification:
+    def test_transient_is_retryable(self):
+        policy = RetryPolicy()
+        assert policy.retryable(TransientFault("flaky"))
+        assert TransientFault in RETRYABLE
+
+    @pytest.mark.parametrize("exc", [
+        ValueError("bad"), OSError("disk"), RuntimeError("boom"),
+        ReproError("domain"),
+    ])
+    def test_everything_else_fails_fast(self, exc):
+        assert not RetryPolicy().retryable(exc)
+
+
+class TestValidation:
+    def test_defaults_are_sane(self):
+        assert DEFAULT_RETRY.max_attempts == 3
+        assert DEFAULT_RETRY.base_delay_s > 0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"base_delay_s": -0.1},
+        {"max_delay_s": -1.0},
+        {"jitter": -0.5},
+    ])
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)

@@ -1,0 +1,298 @@
+"""Resilience hardening under an armed fault plane (in-process).
+
+Every scenario drives a real ``JobManager`` with a seeded
+:class:`~repro.faults.FaultPlan`: transient crashes retry to the
+bit-identical fault-free result, journal I/O errors degrade (then
+heal) health instead of killing jobs, a stalled worker is truncated by
+the watchdog into a certified partial, and drain parks running jobs at
+a journaled, resumable stopping point.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.api import random_instance, solve
+from repro.faults import FaultPlan, RetryPolicy
+from repro.serve.health import HealthMonitor
+from repro.serve.jobs import DrainingError, JobManager
+from repro.serve.journal import Journal, job_record
+from repro.serve.protocol import result_record
+
+MAXIS_SPEC = {
+    "workload": {"problem": "maxis", "nodes": 40, "seed": 5},
+    "algorithm": "maxis-coloring",
+}
+#: Fast backoff so retry scenarios finish in test time.
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay_s=0.001, seed=0)
+
+
+def _wait(job, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while not job.done:
+        if time.monotonic() > deadline:
+            raise AssertionError(f"job {job.id} stuck in {job.status!r}")
+        time.sleep(0.01)
+    return job
+
+
+def _run(manager, spec):
+    manager.start()
+    try:
+        return _wait(manager.submit(spec))
+    finally:
+        manager.shutdown()
+
+
+@pytest.fixture
+def direct_record():
+    return result_record(solve(
+        random_instance("maxis", n=40, seed=5), "maxis-coloring"))
+
+
+class TestTransientRetry:
+    def test_one_crash_retries_to_bit_identical_result(
+            self, direct_record):
+        plan = FaultPlan(seed=0, sites={
+            "worker.transient": {"rate": 1.0, "limit": 1}})
+        mgr = JobManager(workers=1, fault_plan=plan, retry=FAST_RETRY)
+        job = _run(mgr, MAXIS_SPEC)
+        assert job.status == "complete"
+        assert job.attempts == 2
+        assert len(job.attempt_errors) == 1
+        assert "TransientFault" in job.attempt_errors[0]
+        assert json.dumps(job.result, sort_keys=True) == \
+            json.dumps(direct_record, sort_keys=True)
+        assert mgr.stats()["retries_total"] == 1
+        assert mgr.health.snapshot()["worker_crashes"] == 1
+
+    def test_exhausted_retries_fail_the_job_not_the_pool(self):
+        plan = FaultPlan(seed=0, sites={
+            "worker.transient": {"rate": 1.0}})
+        mgr = JobManager(workers=1, fault_plan=plan, retry=FAST_RETRY)
+        mgr.start()
+        try:
+            job = _wait(mgr.submit(MAXIS_SPEC))
+            assert job.status == "failed"
+            assert job.attempts == FAST_RETRY.max_attempts
+            assert len(job.attempt_errors) == FAST_RETRY.max_attempts
+            assert "TransientFault" in job.error
+            # the pool survives: disarm the site and run another job
+            plan.sites.pop("worker.transient")
+            assert _wait(mgr.submit(
+                {**MAXIS_SPEC, "workload": {
+                    "problem": "maxis", "nodes": 30, "seed": 2}},
+            )).status == "complete"
+        finally:
+            mgr.shutdown()
+
+    def test_retry_disabled_fails_on_first_transient(self):
+        plan = FaultPlan(seed=0, sites={
+            "worker.transient": {"rate": 1.0, "limit": 1}})
+        mgr = JobManager(workers=1, fault_plan=plan, retry=None)
+        job = _run(mgr, MAXIS_SPEC)
+        assert job.status == "failed"
+        assert job.attempts == 1
+
+    def test_budgeted_retry_warm_starts_bit_identically(self):
+        """A retried *budgeted* job warm-starts from its last journaled
+        checkpoint and still matches the uninterrupted run bit for
+        bit — the resume contract under fault injection."""
+
+        from dataclasses import replace
+
+        spec = {
+            "workload": {"problem": "matching", "nodes": 40, "seed": 5},
+            "algorithm": "matching-proposal",
+            "max_rounds": 1000,
+        }
+        plan = FaultPlan(seed=0, sites={
+            "worker.transient": {"rate": 1.0, "limit": 1}})
+        mgr = JobManager(workers=1, fault_plan=plan, retry=FAST_RETRY)
+        job = _run(mgr, spec)
+        assert job.status == "complete"
+        uncut = result_record(solve(
+            replace(random_instance("matching", n=40, seed=5),
+                    max_rounds=1000),
+            "matching-proposal"))
+        assert json.dumps(job.result, sort_keys=True) == \
+            json.dumps(uncut, sort_keys=True)
+
+
+class TestJournalFaults:
+    def test_write_failures_degrade_then_one_success_heals(
+            self, tmp_path):
+        health = HealthMonitor(journal_failure_threshold=3)
+        plan = FaultPlan(seed=0, sites={
+            "journal.write": {"rate": 1.0, "limit": 3}})
+        journal = Journal(str(tmp_path), health=health, fault_plan=plan)
+        record = job_record("job-000001-aa", MAXIS_SPEC, "queued")
+        for _ in range(3):
+            assert not journal.write(record)
+        assert health.degraded
+        assert "journal-degraded" in \
+            health.snapshot()["reasons"][0]
+        assert journal.errors == 3
+        # the fourth write succeeds (limit exhausted) and heals
+        assert journal.write(record)
+        assert not health.degraded
+        assert health.snapshot()["journal_errors_total"] == 3
+
+    def test_faulted_writes_never_kill_the_job(self, tmp_path,
+                                               direct_record):
+        plan = FaultPlan(seed=0, sites={"journal.write": {"rate": 1.0}})
+        mgr = JobManager(workers=1, state_dir=str(tmp_path),
+                         fault_plan=plan)
+        job = _run(mgr, MAXIS_SPEC)
+        assert job.status == "complete"
+        assert json.dumps(job.result, sort_keys=True) == \
+            json.dumps(direct_record, sort_keys=True)
+        assert mgr.stats()["journal_errors"] > 0
+
+    def test_torn_tmp_files_are_swept_on_recovery(self, tmp_path):
+        plan = FaultPlan(seed=0, sites={
+            "journal.tmp": {"rate": 1.0, "limit": 2}})
+        mgr = JobManager(workers=1, state_dir=str(tmp_path),
+                         fault_plan=plan)
+        job = _run(mgr, MAXIS_SPEC)
+        assert job.status == "complete"
+        leftovers = [name for name in tmp_path.iterdir()
+                     if ".json.tmp." in name.name]
+        assert leftovers
+        fresh = JobManager(workers=1, state_dir=str(tmp_path))
+        counts = fresh.recover()
+        assert counts["swept_tmp"] == len(leftovers)
+        assert counts["restored"] == 1
+        assert not [name for name in tmp_path.iterdir()
+                    if ".json.tmp." in name.name]
+
+    def test_recovery_counts_unreadable_and_foreign_files(
+            self, tmp_path):
+        (tmp_path / "torn.json").write_text("{not json")
+        (tmp_path / "foreign.json").write_text(
+            '{"format": "other/1", "job_id": "x", "spec": {}}')
+        (tmp_path / "stale.json.tmp.4242").write_text('{"torn": ')
+        mgr = JobManager(workers=1, state_dir=str(tmp_path))
+        counts = mgr.recover()
+        assert counts == {"restored": 0, "requeued": 0,
+                          "skipped": 2, "swept_tmp": 1}
+        assert mgr.stats()["recovery"] == counts
+
+    def test_remove_tolerates_missing_but_reports_real_errors(
+            self, tmp_path):
+        health = HealthMonitor()
+        journal = Journal(str(tmp_path), health=health)
+        journal.remove("job-000001-gone")  # FileNotFoundError: fine
+        assert journal.errors == 0
+        # a directory where the record file should be raises a
+        # non-ENOENT OSError: reported, not swallowed
+        (tmp_path / "job-x.json").mkdir()
+        (tmp_path / "job-x.json" / "pin").write_text("")
+        journal.remove("job-x")
+        assert journal.errors == 1
+        assert health.snapshot()["journal_errors_total"] == 1
+
+
+class TestWatchdog:
+    def test_stalled_job_truncates_to_certified_partial(self):
+        plan = FaultPlan(seed=0, sites={
+            "worker.stall": {"rate": 1.0, "limit": 1, "stall_s": 60.0}})
+        mgr = JobManager(workers=1, fault_plan=plan, watchdog_s=0.2)
+        started = time.monotonic()
+        job = _run(mgr, {**MAXIS_SPEC, "max_rounds": 1000})
+        assert time.monotonic() - started < 30.0  # not the 60s stall
+        assert job.status == "truncated"
+        assert job.abort_reason == "watchdog"
+        assert job.result["status"] == "truncated"
+        # the partial is certified: a valid solution with its objective
+        assert job.result["objective"] >= 0
+        assert job.result["solution"] is not None
+
+    def test_watchdog_results_are_never_cached(self):
+        plan = FaultPlan(seed=0, sites={
+            "worker.stall": {"rate": 1.0, "limit": 1, "stall_s": 60.0}})
+        mgr = JobManager(workers=1, fault_plan=plan, watchdog_s=0.2)
+        mgr.start()
+        try:
+            spec = {**MAXIS_SPEC, "max_rounds": 1000}
+            _wait(mgr.submit(spec))
+            rerun = _wait(mgr.submit(spec))
+        finally:
+            mgr.shutdown()
+        assert not rerun.cache_hit
+        assert rerun.status == "complete"  # stall limit spent
+
+
+class TestDrain:
+    def test_drain_parks_running_jobs_resumably(self, tmp_path):
+        from dataclasses import replace
+
+        spec = {
+            "workload": {"problem": "matching", "nodes": 40, "seed": 5},
+            "algorithm": "matching-proposal",
+            "max_rounds": 1000,
+        }
+        mgr = JobManager(workers=1, state_dir=str(tmp_path),
+                         phase_delay_s=0.05)
+        mgr.start()
+        job = mgr.submit(spec)
+        deadline = time.monotonic() + 30.0
+        while job.checkpoints < 3:
+            assert time.monotonic() < deadline, "no checkpoints"
+            time.sleep(0.005)
+        stats = mgr.drain(timeout_s=30.0)
+        assert stats["clean"]
+        assert stats["drained"] == 1
+        assert job.status == "queued"
+        with pytest.raises(DrainingError):
+            mgr.submit(spec)
+        assert mgr.stats()["draining"]
+        mgr.shutdown()
+        # restart on the same state dir: the parked job finishes
+        # bit-identically to a never-stopped run
+        fresh = JobManager(workers=1, state_dir=str(tmp_path))
+        assert fresh.recover()["requeued"] == 1
+        fresh.start()
+        try:
+            resumed = _wait(fresh.get(job.id))
+        finally:
+            fresh.shutdown()
+        assert resumed.status == "complete"
+        uncut = result_record(solve(
+            replace(random_instance("matching", n=40, seed=5),
+                    max_rounds=1000),
+            "matching-proposal"))
+        assert json.dumps(resumed.result, sort_keys=True) == \
+            json.dumps(uncut, sort_keys=True)
+
+
+class TestDispatcherDeath:
+    def test_death_degrades_health_and_leaves_jobs_journaled(
+            self, tmp_path):
+        plan = FaultPlan(seed=0, sites={"dispatcher.death": {"after": 1}})
+        mgr = JobManager(workers=1, state_dir=str(tmp_path),
+                         fault_plan=plan)
+        mgr.start()
+        try:
+            job = mgr.submit(MAXIS_SPEC)
+            deadline = time.monotonic() + 10.0
+            while not mgr.health.snapshot()["dispatcher_dead"]:
+                assert time.monotonic() < deadline, \
+                    "dispatcher never died"
+                time.sleep(0.01)
+            assert mgr.health.degraded
+            assert job.status == "queued"
+        finally:
+            mgr.shutdown()
+        # the submit-time journal record survives for the restart
+        fresh = JobManager(workers=1, state_dir=str(tmp_path))
+        counts = fresh.recover()
+        assert counts["requeued"] == 1
+        fresh.start()
+        try:
+            assert _wait(fresh.get(job.id)).status == "complete"
+        finally:
+            fresh.shutdown()

@@ -166,7 +166,7 @@ class TestRoutes:
         assert server.request("DELETE", "/jobs")[0] == 405
         assert server.request("POST", "/jobs/job-000001-x", {})[0] == 405
 
-    def test_oversized_body_is_400(self, server):
+    def test_oversized_body_is_413(self, server):
         conn = http.client.HTTPConnection("127.0.0.1", server.port,
                                           timeout=30)
         try:
@@ -174,7 +174,7 @@ class TestRoutes:
             conn.putheader("Content-Length", str(MAX_BODY + 1))
             conn.endheaders()
             response = conn.getresponse()
-            assert response.status == 400
+            assert response.status == 413
         finally:
             conn.close()
 

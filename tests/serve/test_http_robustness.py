@@ -1,0 +1,205 @@
+"""HTTP-layer robustness: rude clients, degraded health, draining.
+
+Satellite of the fault-injection PR: a client hanging up mid-stream
+must not kill the job or leak the writer; malformed/oversized bodies
+must be rejected without touching the journal; ``/healthz`` must turn
+503 while degraded or draining; the ``stream.disconnect`` fault site
+must drop connections server-side without losing the job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.serve.daemon import ServerConfig, build_manager
+from repro.serve.http import MAX_BODY, ServiceHandler
+
+MAXIS_BODY = {
+    "workload": {"problem": "maxis", "nodes": 50, "seed": 9},
+    "algorithm": "maxis-layers",
+}
+
+
+class _LiveServer:
+    """The service on an ephemeral port, driven from a daemon thread."""
+
+    def __init__(self, **config_kwargs):
+        self.manager = build_manager(ServerConfig(**config_kwargs))
+        self.port = None
+        self._loop = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        async def serve():
+            self.manager.start()
+            handler = ServiceHandler(self.manager, stream_poll_s=0.01)
+            server = await asyncio.start_server(
+                handler.handle, "127.0.0.1", 0)
+            self.port = server.sockets[0].getsockname()[1]
+            self._ready.set()
+            async with server:
+                await asyncio.Event().wait()
+
+        self._loop = asyncio.new_event_loop()
+        try:
+            self._loop.run_until_complete(serve())
+        except RuntimeError:
+            pass  # loop stopped from outside at teardown
+
+    def start(self):
+        self._thread.start()
+        assert self._ready.wait(timeout=10), "server did not come up"
+        return self
+
+    def stop(self):
+        self.manager.shutdown()
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5)
+
+    def request(self, method, path, body=None):
+        conn = http.client.HTTPConnection("127.0.0.1", self.port,
+                                          timeout=30)
+        try:
+            payload = None
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+            conn.request(method, path, body=payload)
+            response = conn.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            conn.close()
+
+    def poll_done(self, job_id, timeout=60.0):
+        deadline = time.monotonic() + timeout
+        while True:
+            status, record = self.request("GET", f"/jobs/{job_id}")
+            assert status == 200
+            if record["status"] in ("complete", "truncated", "failed"):
+                return record
+            assert time.monotonic() < deadline, \
+                f"job stuck in {record['status']!r}"
+            time.sleep(0.02)
+
+
+@pytest.fixture
+def server():
+    live = _LiveServer(workers=2, cache_size=16,
+                       phase_delay_s=0.02).start()
+    yield live
+    live.stop()
+
+
+class TestClientDisconnect:
+    def test_hangup_mid_stream_does_not_kill_the_job(self, server):
+        _status, record = server.request("POST", "/jobs", MAXIS_BODY)
+        job_id = record["id"]
+        conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                          timeout=30)
+        try:
+            conn.request("GET", f"/jobs/{job_id}/stream")
+            response = conn.getresponse()
+            assert response.status == 200
+            first = response.readline()  # one update arrived
+            assert json.loads(first)["id"] == job_id
+        finally:
+            conn.close()  # hang up mid-stream, job still running
+        done = server.poll_done(job_id)
+        assert done["status"] == "complete"
+        assert done["result"]["objective"] > 0
+        # the dropped writer degraded nothing
+        assert server.manager.health.snapshot()["state"] == "ok"
+
+    def test_injected_disconnect_drops_stream_but_not_job(self):
+        plan = FaultPlan(seed=0, sites={
+            "stream.disconnect": {"rate": 1.0, "limit": 1}})
+        live = _LiveServer(workers=2, cache_size=16,
+                           phase_delay_s=0.02,
+                           fault_plan=plan).start()
+        try:
+            _status, record = live.request("POST", "/jobs", MAXIS_BODY)
+            job_id = record["id"]
+            conn = http.client.HTTPConnection("127.0.0.1", live.port,
+                                              timeout=30)
+            try:
+                conn.request("GET", f"/jobs/{job_id}/stream")
+                response = conn.getresponse()
+                assert response.status == 200
+                # the server hangs up before the terminal chunk
+                with pytest.raises((http.client.IncompleteRead,
+                                    ConnectionError)):
+                    response.read()
+            finally:
+                conn.close()
+            assert live.poll_done(job_id)["status"] == "complete"
+        finally:
+            live.stop()
+
+
+class TestBadInputNeverTouchesJournal:
+    def test_malformed_and_oversized_posts_are_rejected_cleanly(
+            self, tmp_path):
+        state = tmp_path / "state"
+        live = _LiveServer(workers=1, state_dir=str(state)).start()
+        try:
+            conn = http.client.HTTPConnection("127.0.0.1", live.port,
+                                              timeout=30)
+            try:
+                conn.request("POST", "/jobs", body=b"{nope")
+                assert conn.getresponse().status == 400
+            finally:
+                conn.close()
+            conn = http.client.HTTPConnection("127.0.0.1", live.port,
+                                              timeout=30)
+            try:
+                conn.putrequest("POST", "/jobs")
+                conn.putheader("Content-Length", str(MAX_BODY + 1))
+                conn.endheaders()
+                assert conn.getresponse().status == 413
+            finally:
+                conn.close()
+            status, _payload = live.request(
+                "POST", "/jobs", {"algorithm": "no-such"})
+            assert status == 400
+            # none of the rejects reached the journal
+            assert os.listdir(state) == []
+            assert live.manager.stats()["jobs"]["total"] == 0
+        finally:
+            live.stop()
+
+
+class TestHealthz:
+    def test_degraded_health_is_503_with_reasons(self):
+        live = _LiveServer(workers=1).start()
+        try:
+            assert live.request("GET", "/healthz")[0] == 200
+            live.manager.health.dispatcher_dead()
+            status, payload = live.request("GET", "/healthz")
+            assert status == 503
+            assert payload["ok"] is False
+            assert payload["state"] == "degraded"
+            assert "dispatcher-dead" in payload["reasons"]
+        finally:
+            live.stop()
+
+    def test_draining_rejects_submits_and_flips_healthz(self):
+        live = _LiveServer(workers=1).start()
+        try:
+            live.manager.drain(timeout_s=5.0)
+            status, payload = live.request("GET", "/healthz")
+            assert status == 503
+            assert payload["state"] == "draining"
+            status, payload = live.request("POST", "/jobs", MAXIS_BODY)
+            assert status == 503
+            assert "draining" in payload["error"]
+        finally:
+            live.stop()

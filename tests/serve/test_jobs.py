@@ -191,7 +191,8 @@ class TestRecovery:
                                  payload=self._mid_run_payload()))
         mgr = JobManager(workers=1, state_dir=str(tmp_path))
         counts = mgr.recover()
-        assert counts == {"restored": 0, "requeued": 1}
+        assert counts == {"restored": 0, "requeued": 1,
+                          "skipped": 0, "swept_tmp": 0}
         mgr.start()
         try:
             job = _wait(mgr.get("job-000003-feed"))
@@ -241,7 +242,8 @@ class TestRecovery:
             mgr.shutdown()
         fresh = JobManager(workers=1, state_dir=str(tmp_path))
         counts = fresh.recover()
-        assert counts == {"restored": 1, "requeued": 0}
+        assert counts == {"restored": 1, "requeued": 0,
+                          "skipped": 0, "swept_tmp": 0}
         restored = fresh.get(job.id)
         assert restored.status == "complete"
         assert restored.recovered
