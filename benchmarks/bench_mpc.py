@@ -1,0 +1,18 @@
+"""Experiment MPC_SCALING — sublinear machines and sparsification.
+
+The ``mpc_scaling`` experiment in :mod:`repro.experiments.catalog`
+runs the two MPC-ported algorithms (``matching-proposal`` and
+``maxis-greedy``) across machine counts, memory exponents δ and graph
+families, pinning exact objective/solution parity against the
+default-model ``solve()``, the per-machine ``O(n^δ)`` sublinearity
+check, and the dense complete-graph configuration that passes only
+because adaptive sparsification engages.  Every measure is a counter
+or flag — never wall-clock — so the artifact is byte-deterministic at
+the fixed seed and CI ``cmp``-gates the committed ``BENCH_mpc.json``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.bench import experiment_bench
+
+test_mpc = experiment_bench("mpc_scaling")

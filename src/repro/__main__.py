@@ -215,6 +215,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="graceful-drain budget on SIGTERM/SIGINT: "
                             "running jobs checkpoint and journal "
                             "before exit (default 10)")
+    serve.add_argument("--journal-retain", type=int, default=None,
+                       metavar="N",
+                       help="compact the journal on startup recovery: "
+                            "keep at most N terminal-job files on disk "
+                            "(default: keep everything)")
     return parser
 
 

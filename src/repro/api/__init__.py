@@ -56,7 +56,7 @@ from .batch import (
 )
 from ..errors import NotResumable, ResumeError, ResumeMismatch
 from .facade import RESUME_VERSION, resume, resume_iter, solve, solve_iter
-from .instance import CONGEST, LOCAL, MODELS, Instance, random_instance
+from .instance import CONGEST, LOCAL, MODELS, MPC, Instance, random_instance
 from .persist import (
     RESUME_FILE_FORMAT,
     instance_from_workload,
@@ -92,6 +92,7 @@ __all__ = [
     "Instance",
     "LOCAL",
     "MODELS",
+    "MPC",
     "NotResumable",
     "RESUME_FILE_FORMAT",
     "RESUME_VERSION",

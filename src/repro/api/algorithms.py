@@ -30,6 +30,8 @@ from ..core import (
     fast_matching_weighted_2eps,
     general_proposal_matching,
     general_proposal_phases,
+    greedy_mis,
+    greedy_mis_phases,
     improved_nearly_maximal_is,
     local_matching_1eps,
     local_matching_1eps_phases,
@@ -39,6 +41,7 @@ from ..core import (
     maxis_layers_phases,
     maxis_local_ratio_coloring,
     maxis_local_ratio_layers,
+    nearly_maximal_hypergraph_matching,
     nearly_maximal_matching,
     weight_group_matching,
 )
@@ -50,10 +53,22 @@ from ..matching import (
     matching_weight,
 )
 from ..mis import luby_mis
+from ..mpc import MPCNetwork, mpc_general_proposal_phases, mpc_greedy_mis
 from .anytime import COMPLETE, TRUNCATED, Checkpoint
-from .instance import CONGEST, LOCAL, Instance
+from .instance import CONGEST, LOCAL, MPC, Instance
 from .registry import algorithm
 from .report import SolveReport
+
+
+def _mpc_network(instance: Instance, capacity_factor: float,
+                 sparsify: bool) -> MPCNetwork:
+    """The MPC fleet for an ``Instance(model="mpc", ...)`` run."""
+
+    return MPCNetwork(
+        instance.graph, machines=instance.machines, delta=instance.delta,
+        seed=instance.seed, capacity_factor=capacity_factor,
+        sparsify=sparsify,
+    )
 
 
 def _report(instance: Instance, solution, objective, rounds,
@@ -187,7 +202,7 @@ def _iter_maxis_layers(instance: Instance, trace=None, resume_state=None):
 @algorithm(name="maxis-layers", problem="maxis", cli="layers",
            paper="Algorithm 2 (Thm 2.3)",
            guarantee="Δ-approx MWIS, O(MIS·log W) rounds",
-           bound=lambda inst: float(max(1, inst.delta)),
+           bound=lambda inst: float(max(1, inst.max_degree)),
            weighted=True, tags=("paper",), run_iter=_iter_maxis_layers,
            array_kernel=True)
 def _run_maxis_layers(instance: Instance, trace=None) -> SolveReport:
@@ -240,7 +255,7 @@ def _iter_maxis_coloring(instance: Instance, coloring=None,
 @algorithm(name="maxis-coloring", problem="maxis", cli="coloring",
            paper="Algorithm 3",
            guarantee="Δ-approx MWIS, O(Δ + log* n), deterministic",
-           bound=lambda inst: float(max(1, inst.delta)),
+           bound=lambda inst: float(max(1, inst.max_degree)),
            weighted=True, deterministic=True, tags=("paper",),
            run_iter=_iter_maxis_coloring, array_kernel=True)
 def _run_maxis_coloring(instance: Instance, coloring=None) -> SolveReport:
@@ -256,6 +271,67 @@ def _run_maxis_coloring(instance: Instance, coloring=None) -> SolveReport:
                    accounted_rounds=result.accounted_rounds,
                    measured_rounds=result.measured_rounds,
                    coloring=result.coloring)
+
+
+def _iter_greedy_mis(instance: Instance, resume_state=None,
+                     capacity_factor: float = 8.0,
+                     sparsify: bool = True):
+    """Anytime greedy MWIS: one checkpoint per peeling sweep.
+
+    Under ``Instance(model="mpc")`` the peeling runs as the
+    joined/excluded message protocol on the MPC fleet (coarse
+    begin/end checkpoints; the protocol is deterministic, so a
+    restart-style resume reproduces it), with the per-machine ledger
+    summary attached as ``extras["mpc"]``.  The chosen set is the same
+    unique greedy set either way.
+    """
+
+    if instance.model == MPC:
+        yield Checkpoint(phase="init", solution=frozenset(), objective=0,
+                         rounds=0)
+        network = _mpc_network(instance, capacity_factor, sparsify)
+        chosen, weight, rounds, _ = mpc_greedy_mis(
+            instance.graph, network=network,
+        )
+        yield Checkpoint(phase="mpc-peel", solution=chosen,
+                         objective=weight, rounds=rounds, final=True)
+        return _report(instance, chosen, weight, rounds,
+                       mpc=network.summary())
+    phases = greedy_mis_phases(
+        instance.graph, max_rounds=instance.max_rounds,
+        capture_state=instance.max_rounds is not None,
+        resume=resume_state,
+    )
+    result, last = yield from _drive_simulator_phases(
+        phases, None, "peel", resume_state, "chosen",
+    )
+    if result is None:
+        rounds, chosen, weight, _final, _state = last
+        return _report(instance, chosen, weight, rounds,
+                       status=TRUNCATED)
+    return _report(instance, result.independent_set, result.weight,
+                   result.rounds, ledger=result.ledger)
+
+
+@algorithm(name="maxis-greedy", problem="maxis", cli="greedy",
+           paper="folklore",
+           guarantee="Δ-approx MWIS, deterministic parallel peeling",
+           bound=lambda inst: float(max(1, inst.max_degree)),
+           weighted=True, deterministic=True,
+           models=(CONGEST, LOCAL, MPC), tags=("baseline",),
+           run_iter=_iter_greedy_mis)
+def _run_greedy_mis(instance: Instance, capacity_factor: float = 8.0,
+                    sparsify: bool = True) -> SolveReport:
+    if instance.model == MPC:
+        network = _mpc_network(instance, capacity_factor, sparsify)
+        chosen, weight, rounds, _ = mpc_greedy_mis(
+            instance.graph, network=network,
+        )
+        return _report(instance, chosen, weight, rounds,
+                       mpc=network.summary())
+    result = greedy_mis(instance.graph)
+    return _report(instance, result.independent_set, result.weight,
+                   result.rounds, ledger=result.ledger)
 
 
 @algorithm(name="mis-luby", problem="mis",
@@ -534,16 +610,33 @@ def _run_oneeps_bipartite(instance: Instance, k: float = 2.0,
 # Proposal matchings (Appendix B.4)
 # ----------------------------------------------------------------------
 def _iter_proposal(instance: Instance, k=None, repetitions=None,
-                   resume_state=None):
+                   resume_state=None, capacity_factor: float = 8.0,
+                   sparsify: bool = True):
     """Anytime Lemma B.14: one checkpoint per bipartition repetition;
-    stops cooperatively before any repetition past ``max_rounds``."""
+    stops cooperatively before any repetition past ``max_rounds``.
 
-    phases = general_proposal_phases(
-        instance.graph, eps=instance.eps, k=k, seed=instance.seed,
-        repetitions=repetitions, max_rounds=instance.max_rounds,
-        capture_state=instance.max_rounds is not None,
-        resume=resume_state, backend=instance.backend,
-    )
+    Under ``Instance(model="mpc")`` the repetitions execute on the MPC
+    fleet instead of the object simulator — same matching and round
+    count (the port replays the exact per-node RNG streams), with the
+    per-machine ledger summary attached as ``extras["mpc"]``.
+    """
+
+    network = None
+    if instance.model == MPC:
+        network = _mpc_network(instance, capacity_factor, sparsify)
+        phases = mpc_general_proposal_phases(
+            instance.graph, eps=instance.eps, k=k, seed=instance.seed,
+            repetitions=repetitions, max_rounds=instance.max_rounds,
+            capture_state=instance.max_rounds is not None,
+            resume=resume_state, network=network,
+        )
+    else:
+        phases = general_proposal_phases(
+            instance.graph, eps=instance.eps, k=k, seed=instance.seed,
+            repetitions=repetitions, max_rounds=instance.max_rounds,
+            capture_state=instance.max_rounds is not None,
+            resume=resume_state, backend=instance.backend,
+        )
     last = (0, frozenset(), False, None)
     index = 0
     while True:
@@ -557,22 +650,35 @@ def _iter_proposal(instance: Instance, k=None, repetitions=None,
                          objective=len(matching), rounds=rounds,
                          final=final, resume_state=state)
         index += 1
+    extras = {} if network is None else {"mpc": network.summary()}
     if result is None:
         rounds, matching, _final, _state = last
         return _report(instance, matching, len(matching), rounds,
-                       status=TRUNCATED)
+                       status=TRUNCATED, **extras)
     matching, rounds, ledger = result
     return _report(instance, matching, len(matching),
-                   rounds, ledger=ledger)
+                   rounds, ledger=ledger, **extras)
 
 
 @algorithm(name="matching-proposal", problem="matching", cli="proposal",
            paper="Lemma B.14",
            guarantee="(2+ε)-approx MCM, proposal-based",
            bound=lambda inst: 2.0 + inst.eps, uses_eps=True,
-           tags=("paper",), run_iter=_iter_proposal, array_kernel=True)
-def _run_proposal(instance: Instance, k=None, repetitions=None
+           models=(CONGEST, LOCAL, MPC), tags=("paper",),
+           run_iter=_iter_proposal, array_kernel=True)
+def _run_proposal(instance: Instance, k=None, repetitions=None,
+                  capacity_factor: float = 8.0, sparsify: bool = True
                   ) -> SolveReport:
+    if instance.model == MPC:
+        from ..mpc import mpc_general_proposal_matching
+
+        network = _mpc_network(instance, capacity_factor, sparsify)
+        matching, rounds, ledger = mpc_general_proposal_matching(
+            instance.graph, eps=instance.eps, k=k, seed=instance.seed,
+            repetitions=repetitions, network=network,
+        )
+        return _report(instance, matching, len(matching),
+                       rounds, ledger=ledger, mpc=network.summary())
     matching, rounds, ledger = general_proposal_matching(
         instance.graph, eps=instance.eps, k=k, seed=instance.seed,
         repetitions=repetitions, backend=instance.backend,
@@ -678,6 +784,36 @@ def _run_nearly_maximal_matching(instance: Instance, failure_delta=0.05,
     )
     return _report(instance, matching, len(matching), rounds,
                    unlucky_edges=unlucky)
+
+
+@algorithm(name="matching-hypergraph", problem="matching",
+           cli="hypergraph", paper="Appendix B.2 (rank d=2)",
+           guarantee="nearly-maximal matching via hypergraph NMM "
+                     "at rank 2",
+           tags=("paper", "subprocedure"))
+def _run_matching_hypergraph(instance: Instance, k: float = 2.0,
+                             failure_delta: float = 0.05,
+                             max_iterations=None,
+                             good_cap=None) -> SolveReport:
+    # Graph edges as rank-2 hyperedges in the deterministic repr order,
+    # so the index-based result maps back stably.
+    hyperedges = [
+        frozenset(edge) for edge in sorted(
+            (tuple(sorted(e, key=repr)) for e in instance.graph.edges),
+            key=repr,
+        )
+    ]
+    result = nearly_maximal_hypergraph_matching(
+        hyperedges, rank=2, k=k, failure_delta=failure_delta,
+        seed=instance.seed, max_iterations=max_iterations,
+        good_cap=good_cap,
+    )
+    matching = frozenset(hyperedges[i] for i in result.matched_edges)
+    ledger = RoundLedger()
+    ledger.charge(result.iterations, "nmm-iterations")
+    return _report(instance, matching, len(matching), result.iterations,
+                   ledger=ledger, deactivated=result.deactivated,
+                   drained=result.drained)
 
 
 @algorithm(name="mis-nearly-maximal", problem="mis",

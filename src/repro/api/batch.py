@@ -220,10 +220,16 @@ def instance_fingerprint(instance: Instance) -> str:
         (*sorted((repr(u), repr(v))), repr(data.get("weight", 1)))
         for u, v, data in graph.edges(data=True)
     )
-    key = repr((
+    fields = (
         nodes, edges, instance.model, instance.eps, instance.seed,
         instance.max_rounds, instance.bandwidth_factor, instance.strict,
-    ))
+    )
+    if instance.machines is not None or instance.delta is not None:
+        # MPC topology participates only when set, so every pre-MPC
+        # instance keeps its historical fingerprint (committed batch
+        # artifacts and persisted resume envelopes stay valid).
+        fields = fields + (instance.machines, instance.delta)
+    key = repr(fields)
     return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
 
 

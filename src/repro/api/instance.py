@@ -26,7 +26,8 @@ from ..graphs import (
 
 LOCAL = "LOCAL"
 CONGEST = "CONGEST"
-MODELS = (LOCAL, CONGEST)
+MPC = "MPC"
+MODELS = (LOCAL, CONGEST, MPC)
 
 
 @dataclass(frozen=True)
@@ -39,8 +40,9 @@ class Instance:
         The input graph; node weights (MaxIS) and edge weights
         (matching) are read from the ``weight`` attribute, default 1.
     model:
-        ``"LOCAL"``, ``"CONGEST"``, or ``None`` meaning "whatever the
-        chosen algorithm natively runs in" (resolved by ``solve``).
+        ``"LOCAL"``, ``"CONGEST"``, ``"MPC"``, or ``None`` meaning
+        "whatever the chosen algorithm natively runs in" (resolved by
+        ``solve``).  Case-insensitive (``"mpc"`` is normalized).
     eps:
         Accuracy parameter for the (1+ε)/(2+ε) algorithms; ignored by
         algorithms whose spec has ``uses_eps=False``.
@@ -68,6 +70,14 @@ class Instance:
         variable, default object".  Results are bit-identical across
         backends — the choice only affects execution speed — so the
         backend does not participate in instance fingerprints.
+    machines:
+        MPC only: number of machines the input is partitioned across.
+        ``None`` derives ``ceil(n ** (1 - delta))`` — just enough
+        machines that each block fits the ``O(n^delta)`` memory budget.
+    delta:
+        MPC only: the sublinear-memory exponent δ in ``S = O(n^δ)``
+        (default 0.5).  Also sizes the per-machine per-round
+        communication cap the runtime enforces.
     """
 
     graph: nx.Graph
@@ -78,18 +88,33 @@ class Instance:
     bandwidth_factor: int = 8
     strict: bool = False
     backend: Optional[str] = None
+    machines: Optional[int] = None
+    delta: Optional[float] = None
 
     def __post_init__(self) -> None:
-        if self.model is not None and self.model not in MODELS:
-            raise InvalidInstance(
-                f"unknown model {self.model!r} (expected one of {MODELS})"
-            )
+        if self.model is not None:
+            normalized = str(self.model).upper()
+            if normalized != self.model:
+                object.__setattr__(self, "model", normalized)
+            if normalized not in MODELS:
+                raise InvalidInstance(
+                    f"unknown model {self.model!r} "
+                    f"(expected one of {MODELS})"
+                )
         if self.eps <= 0:
             raise InvalidInstance(f"eps must be positive, got {self.eps}")
         if self.backend is not None and self.backend not in BACKENDS:
             raise InvalidInstance(
                 f"unknown backend {self.backend!r} "
                 f"(expected one of {BACKENDS})"
+            )
+        if self.machines is not None and self.machines < 1:
+            raise InvalidInstance(
+                f"machines must be >= 1, got {self.machines}"
+            )
+        if self.delta is not None and not 0.0 < self.delta <= 1.0:
+            raise InvalidInstance(
+                f"delta must lie in (0, 1], got {self.delta}"
             )
 
     # -- derived views -------------------------------------------------
@@ -104,7 +129,7 @@ class Instance:
         return self.graph.number_of_edges()
 
     @property
-    def delta(self) -> int:
+    def max_degree(self) -> int:
         """Maximum degree Δ of the instance graph."""
 
         return max_degree(self.graph)
@@ -161,4 +186,5 @@ def random_instance(
     return Instance(graph, model=model, eps=eps, seed=seed + 2, backend=backend)
 
 
-__all__ = ["CONGEST", "Instance", "LOCAL", "MODELS", "random_instance"]
+__all__ = ["CONGEST", "Instance", "LOCAL", "MODELS", "MPC",
+           "random_instance"]

@@ -221,7 +221,7 @@ class SolveReport:
             "problem": self.problem,
             "algorithm": self.algorithm,
             "n": self.instance.n,
-            "delta": self.instance.delta,
+            "delta": self.instance.max_degree,
             "size": self.size,
             "objective": self.objective,
             "rounds": self.rounds,

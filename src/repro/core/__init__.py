@@ -59,6 +59,12 @@ from .fast_matching import (
     fast_matching_weighted_2eps,
     nearly_maximal_matching,
 )
+from .greedy_mis import (
+    GreedyMISResult,
+    greedy_mis,
+    greedy_mis_phases,
+    greedy_priorities,
+)
 from .hypergraph_matching import (
     HypergraphMatchingResult,
     good_round_cap,
@@ -123,6 +129,7 @@ __all__ = [
     "COUNT",
     "CongestOneEpsResult",
     "FastMatchingResult",
+    "GreedyMISResult",
     "HypergraphMatchingResult",
     "LayerTrace",
     "MAX",
@@ -159,6 +166,9 @@ __all__ = [
     "general_proposal_matching",
     "general_proposal_phases",
     "good_round_cap",
+    "greedy_mis",
+    "greedy_mis_phases",
+    "greedy_priorities",
     "improved_nearly_maximal_is",
     "lemma_b11_budget",
     "lemma_b13_rounds",

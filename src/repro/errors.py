@@ -49,6 +49,41 @@ class BandwidthViolation(SimulationError):
         )
 
 
+class MPCCapacityError(SimulationError):
+    """A machine's per-round communication exceeded its O(S) budget.
+
+    The MPC runtime enforces sublinearity as a hard invariant: in every
+    round, each machine may send plus receive at most
+    ``capacity = ceil(capacity_factor * n**delta)`` cross-machine
+    messages.  When adaptive sparsification cannot (or may not) bring a
+    round's traffic under that cap, the shuffle raises this error
+    instead of silently recording a violation.
+
+    Attributes
+    ----------
+    machine:
+        Index of the overloaded machine.
+    round_index:
+        MPC round in which the overload occurred.
+    load:
+        Cross-machine messages the machine would have sent + received.
+    capacity:
+        The per-round message budget that was exceeded.
+    """
+
+    def __init__(self, machine: int, round_index: int, load: int,
+                 capacity: int):
+        self.machine = machine
+        self.round_index = round_index
+        self.load = load
+        self.capacity = capacity
+        super().__init__(
+            f"machine {machine} would move {load} messages in round "
+            f"{round_index}, exceeding its sublinear capacity of "
+            f"{capacity}"
+        )
+
+
 class InvalidInstance(ReproError):
     """An input graph/weighting does not satisfy a precondition."""
 

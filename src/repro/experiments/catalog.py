@@ -1950,3 +1950,119 @@ FAULTS = register_experiment(ExperimentSpec(
         ),
     ),
 ))
+
+
+# ----------------------------------------------------------------------
+# MPC: sublinear-memory machines and per-machine load curves
+# ----------------------------------------------------------------------
+def _mpc_parity_check(rows):
+    """Every MPC configuration reproduces its solve() twin exactly and
+    stays under the per-machine sublinear budget."""
+
+    for row in rows:
+        assert row["parity"] and row["solution_parity"], (
+            f"MPC run of {row['algorithm']} diverged from solve(): "
+            f"{row['objective']} vs {row['baseline_objective']}"
+        )
+        assert row["sublinear_ok"], (
+            f"machine load {row['max_machine_load']} exceeds the "
+            f"capacity {row['capacity']}"
+        )
+
+
+def _mpc_dense_check(rows):
+    """The dense configurations pass the sublinearity check *only*
+    because adaptive sparsification engaged."""
+
+    _mpc_parity_check(rows)
+    engaged = [r for r in rows if r["sparsify_triggers"] > 0
+               and r["would_violate_without"]]
+    assert engaged, (
+        "no dense configuration needed sparsification — the grid no "
+        "longer exercises the adaptive dropper"
+    )
+    for row in engaged:
+        assert row["dropped_messages"] > 0, (
+            "sparsification triggered without dropping anything"
+        )
+
+
+MPC_SCALING = register_experiment(ExperimentSpec(
+    name="mpc_scaling",
+    title="MPC: machines × δ sweeps, sublinearity and sparsification",
+    description=(
+        "Runs the two MPC-ported algorithms (matching-proposal and "
+        "maxis-greedy) across machine counts, memory exponents δ and "
+        "graph families, recording per-machine peak loads, shuffle "
+        "traffic and sparsification counters next to an exact "
+        "objective/solution parity check against the default-model "
+        "solve().  The dense section drives a complete graph through "
+        "the greedy peeler, whose exclusion broadcast round is Θ(n²) "
+        "outcome-neutral traffic — the configuration that passes the "
+        "per-machine O(n^δ) budget only because the peak-hold "
+        "estimator engages the adaptive dropper.  Every measure is a "
+        "counter or flag, so the artifact is byte-deterministic and "
+        "CI cmp-gates the committed BENCH_mpc.json."
+    ),
+    tags=("mpc", "models"),
+    sections=(
+        Section(
+            name="machines",
+            title="MPC-a: matching-proposal load vs machine count "
+                  "(G(48, 0.12), δ=0.5)",
+            measurement="mpc_scaling",
+            grid=tuple(
+                {"graph": _gnp(48, 0.12, 3),
+                 "algorithm": "matching-proposal",
+                 "machines": m, "delta": 0.5}
+                for m in (2, 4, 8, 16)
+            ),
+            seeds=(0,),
+            checks=(
+                _rows_check("mpc_parity_and_sublinearity",
+                            _mpc_parity_check),
+                _rows_check(
+                    "load_spreads_with_machines",
+                    lambda rows: _assert(
+                        rows[-1]["max_machine_load"]
+                        <= rows[0]["max_machine_load"],
+                        "peak machine load must not grow as the "
+                        "fleet spreads out"),
+                ),
+            ),
+        ),
+        Section(
+            name="delta",
+            title="MPC-b: maxis-greedy load vs memory exponent δ "
+                  "(G(48, 0.15), default fleet)",
+            measurement="mpc_scaling",
+            grid=tuple(
+                {"graph": _gnp(48, 0.15, 5,
+                               node_w={"max_weight": 8, "seed": 2}),
+                 "algorithm": "maxis-greedy", "delta": d}
+                for d in (0.4, 0.5, 0.75)
+            ),
+            seeds=(0,),
+            checks=(
+                _rows_check("mpc_parity_and_sublinearity",
+                            _mpc_parity_check),
+            ),
+        ),
+        Section(
+            name="dense",
+            title="MPC-c: greedy peeling on complete graphs — "
+                  "sparsification keeps the shuffle sublinear",
+            measurement="mpc_scaling",
+            grid=tuple(
+                {"graph": {"family": "complete", "args": {"n": n}},
+                 "algorithm": "maxis-greedy"}
+                for n in (32, 48)
+            ),
+            seeds=(0,),
+            checks=(
+                _rows_check("dense_needs_sparsification",
+                            _mpc_dense_check),
+            ),
+        ),
+    ),
+))

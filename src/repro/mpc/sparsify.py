@@ -1,0 +1,165 @@
+"""Adaptive sparsification for the MPC shuffle.
+
+Two cooperating pieces:
+
+* :class:`PeakHoldEstimator` — a per-machine load estimator that holds
+  the highest round load seen so far (a "peak hold" meter).  The
+  projected load of the next round is ``max(planned, held_peak)``:
+  bursty protocols are judged by their worst round, so sparsification
+  engages *before* a machine first exceeds its budget rather than one
+  round after.
+* :class:`AdaptiveSparsifier` — when a machine's projected traffic
+  reaches ``guard * capacity`` it drops droppable messages (lowest
+  weight first) addressed to or from that machine until the projection
+  is back under the guard line, and thins redundant message groups
+  (``group`` key: only the heaviest member of a group must survive).
+
+A message is only ever dropped when the producing protocol marked it
+``droppable=True`` — i.e. outcome-neutral by construction — so
+sparsification trades ledger load, never correctness.  The stats object
+records trigger counts and whether any round *would have* violated the
+hard capacity check without sparsification (the acceptance criterion
+for the dense ``mpc_scaling`` configurations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .ledger import MachineLedger  # noqa: F401  (re-export convenience)
+
+
+@dataclass
+class SparsifyStats:
+    """Counters surfaced in reports and the ``mpc_scaling`` rows."""
+
+    triggers: int = 0
+    dropped_messages: int = 0
+    would_violate_without: bool = False
+    rounds_engaged: List[int] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "triggers": self.triggers,
+            "dropped_messages": self.dropped_messages,
+            "would_violate_without": self.would_violate_without,
+            "rounds_engaged": list(self.rounds_engaged),
+        }
+
+
+class PeakHoldEstimator:
+    """Per-machine peak-hold load estimator.
+
+    ``project(machine, planned)`` returns the load the sparsifier
+    should plan against; ``observe(machine, actual)`` latches the
+    realized load after the round's shuffle so the hold ratchets up
+    but never decays.
+    """
+
+    def __init__(self, machines: int):
+        self._peaks = [0] * machines
+
+    def project(self, machine: int, planned: int) -> int:
+        return max(planned, self._peaks[machine])
+
+    def observe(self, machine: int, actual: int) -> None:
+        if actual > self._peaks[machine]:
+            self._peaks[machine] = actual
+
+    def peaks(self) -> List[int]:
+        return list(self._peaks)
+
+
+class AdaptiveSparsifier:
+    """Drops droppable low-weight traffic when a machine runs hot.
+
+    ``guard`` is the fraction of capacity at which sparsification
+    engages (default 0.8): projecting at or above ``guard * capacity``
+    marks the machine hot.  Dropping order is deterministic — ascending
+    ``(weight, repr(src), repr(dst))`` — so runs are byte-reproducible.
+    """
+
+    def __init__(self, capacity: int, estimator: PeakHoldEstimator,
+                 guard: float = 0.8):
+        self.capacity = capacity
+        self.estimator = estimator
+        self.guard = guard
+        self.stats = SparsifyStats()
+        self._threshold = max(1, int(guard * capacity))
+
+    def thin_round(self, round_index: int, remote: list,
+                   planned: Dict[int, int],
+                   assignment_of) -> list:
+        """Filter one round's remote messages.
+
+        ``remote`` is the list of cross-machine :class:`MPCMessage`
+        objects, ``planned`` maps machine -> planned load (sent +
+        received), ``assignment_of`` maps a node to its machine.
+        Returns the surviving messages; mutates ``planned`` in place to
+        reflect the drops and updates :attr:`stats`.
+        """
+
+        hot = {m for m, load in planned.items()
+               if self.estimator.project(m, load) >= self._threshold}
+        if not hot:
+            return remote
+
+        self.stats.triggers += 1
+        self.stats.rounds_engaged.append(round_index)
+
+        # Redundant groups first: keep only the heaviest member of each
+        # group whose endpoints touch a hot machine.
+        survivors = []
+        best_of_group: Dict[object, object] = {}
+        grouped: Dict[object, list] = {}
+        for msg in remote:
+            if msg.group is None:
+                survivors.append(msg)
+                continue
+            if (assignment_of(msg.src) not in hot
+                    and assignment_of(msg.dst) not in hot):
+                survivors.append(msg)
+                continue
+            grouped.setdefault(msg.group, []).append(msg)
+        for key in sorted(grouped, key=repr):
+            members = sorted(
+                grouped[key],
+                key=lambda m: (m.weight, repr(m.src), repr(m.dst)),
+            )
+            keeper = members[-1]
+            best_of_group[key] = keeper
+            survivors.append(keeper)
+            for msg in members[:-1]:
+                self._account_drop(msg, planned, assignment_of)
+
+        # Then plain droppables, lightest first, while a touched
+        # machine still projects hot.
+        droppable = sorted(
+            (m for m in survivors if m.droppable
+             and best_of_group.get(m.group) is not m),
+            key=lambda m: (m.weight, repr(m.src), repr(m.dst)),
+        )
+        dropped = set()
+        for msg in droppable:
+            src_m = assignment_of(msg.src)
+            dst_m = assignment_of(msg.dst)
+            if (self._projects_hot(src_m, planned)
+                    or self._projects_hot(dst_m, planned)):
+                dropped.add(id(msg))
+                self._account_drop(msg, planned, assignment_of)
+        if dropped:
+            survivors = [m for m in survivors if id(m) not in dropped]
+        return survivors
+
+    def _projects_hot(self, machine: int, planned: Dict[int, int]) -> bool:
+        load = planned.get(machine, 0)
+        return self.estimator.project(machine, load) >= self._threshold
+
+    def _account_drop(self, msg, planned, assignment_of) -> None:
+        self.stats.dropped_messages += 1
+        planned[assignment_of(msg.src)] -= 1
+        planned[assignment_of(msg.dst)] -= 1
+
+
+__all__ = ["AdaptiveSparsifier", "PeakHoldEstimator", "SparsifyStats"]

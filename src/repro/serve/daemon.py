@@ -63,6 +63,9 @@ class ServerConfig:
     watchdog_s: Optional[float] = None
     #: Budget for the SIGTERM graceful drain.
     drain_timeout_s: float = 10.0
+    #: Journal compaction: keep at most this many terminal-job journal
+    #: files across restarts (``None`` = unbounded).
+    journal_retain: Optional[int] = None
 
 
 def build_manager(config: ServerConfig) -> JobManager:
@@ -82,6 +85,7 @@ def build_manager(config: ServerConfig) -> JobManager:
         phase_delay_s=config.phase_delay_s,
         fault_plan=plan,
         watchdog_s=config.watchdog_s,
+        journal_retain=config.journal_retain,
     )
 
 
@@ -163,6 +167,7 @@ def main(args) -> int:
         fault_plan=args.fault_plan,
         watchdog_s=args.watchdog,
         drain_timeout_s=args.drain_timeout,
+        journal_retain=args.journal_retain,
     )
     try:
         clean = asyncio.run(run_server(config))

@@ -171,12 +171,16 @@ class JobManager:
                  phase_delay_s: float = 0.0,
                  fault_plan: Optional[FaultPlan] = None,
                  retry: Optional[RetryPolicy] = DEFAULT_RETRY,
-                 watchdog_s: Optional[float] = None):
+                 watchdog_s: Optional[float] = None,
+                 journal_retain: Optional[int] = None):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if watchdog_s is not None and watchdog_s <= 0:
             raise ValueError(
                 f"watchdog_s must be positive, got {watchdog_s}")
+        if journal_retain is not None and journal_retain < 0:
+            raise ValueError(
+                f"journal_retain must be >= 0, got {journal_retain}")
         self.workers = workers
         #: Test/experiment knob: sleep this long after every checkpoint
         #: so kill-mid-solve scenarios can aim between phases.
@@ -184,6 +188,9 @@ class JobManager:
         self.faults = fault_plan
         self.retry = retry
         self.watchdog_s = watchdog_s
+        #: Journal compaction cap: keep at most this many terminal-job
+        #: journal files across restarts (``None`` = keep everything).
+        self.journal_retain = journal_retain
         self.health = HealthMonitor()
         self.cache = ResultCache(maxsize=cache_size)
         self.journal = Journal(state_dir, health=self.health,
@@ -201,7 +208,7 @@ class JobManager:
         self._latencies: List[float] = []
         self._seq = itertools.count(1)
         self._recovery = {"restored": 0, "requeued": 0, "skipped": 0,
-                          "swept_tmp": 0}
+                          "swept_tmp": 0, "pruned": 0}
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> None:
@@ -310,13 +317,18 @@ class JobManager:
         captured (otherwise the deterministic cold rerun *is* the
         uninterrupted run).  Stale ``*.tmp.<pid>`` leftovers of
         crashed atomic writes are swept first, and unreadable/foreign
-        journal files are counted, not silently skipped.  Returns
-        ``{"restored", "requeued", "skipped", "swept_tmp"}``.
+        journal files are counted, not silently skipped.  When
+        ``journal_retain`` is set, the journal is compacted: only the
+        newest ``N`` terminal-job files survive on disk (the in-memory
+        jobs are all kept — only their crash-recovery records go).
+        Returns ``{"restored", "requeued", "skipped", "swept_tmp",
+        "pruned"}``.
         """
 
         restored = requeued = 0
         swept = self.journal.sweep_stale_tmp()
         max_seq = 0
+        terminal_ids: List[str] = []
         with self._lock:
             for job_id, record in self.journal.replay():
                 try:
@@ -343,6 +355,7 @@ class JobManager:
                         self.cache.put(spec_cache_key(job.spec),
                                        job.result)
                     restored += 1
+                    terminal_ids.append(job_id)
                     continue
                 envelope = record.get("envelope")
                 if isinstance(envelope, dict):
@@ -351,9 +364,17 @@ class JobManager:
                 self._inbox.put(job_id)
                 requeued += 1
             self._seq = itertools.count(max_seq + 1)
+        pruned = 0
+        if self.journal_retain is not None:
+            # Replay order is job-id order, so the front of the list is
+            # the oldest terminal work: compact those files first.
+            excess = len(terminal_ids) - self.journal_retain
+            for job_id in terminal_ids[:max(0, excess)]:
+                self.journal.remove(job_id)
+                pruned += 1
         stats = {"restored": restored, "requeued": requeued,
                  "skipped": self.journal.last_skipped,
-                 "swept_tmp": swept}
+                 "swept_tmp": swept, "pruned": pruned}
         self._recovery = stats
         return stats
 

@@ -4,7 +4,7 @@ import dataclasses
 
 import pytest
 
-from repro.api import CONGEST, LOCAL, Instance, random_instance
+from repro.api import CONGEST, LOCAL, MPC, Instance, random_instance
 from repro.errors import InvalidInstance
 from repro.graphs import gnp_graph, max_degree, node_weight
 
@@ -30,13 +30,27 @@ class TestValidation:
         with pytest.raises(dataclasses.FrozenInstanceError):
             instance.seed = 7
 
+    def test_mpc_model_is_normalized(self, graph):
+        assert Instance(graph, model="mpc").model == MPC
+        assert Instance(graph, model="congest").model == CONGEST
+
+    def test_mpc_topology_validated(self, graph):
+        with pytest.raises(InvalidInstance):
+            Instance(graph, model=MPC, machines=0)
+        with pytest.raises(InvalidInstance):
+            Instance(graph, model=MPC, delta=0.0)
+        with pytest.raises(InvalidInstance):
+            Instance(graph, model=MPC, delta=1.5)
+        ok = Instance(graph, model=MPC, machines=3, delta=0.5)
+        assert (ok.machines, ok.delta) == (3, 0.5)
+
 
 class TestDerivedViews:
-    def test_counts_and_delta(self, graph):
+    def test_counts_and_max_degree(self, graph):
         instance = Instance(graph)
         assert instance.n == graph.number_of_nodes()
         assert instance.m == graph.number_of_edges()
-        assert instance.delta == max_degree(graph)
+        assert instance.max_degree == max_degree(graph)
 
     def test_with_model(self, graph):
         pinned = Instance(graph).with_model(LOCAL)

@@ -22,8 +22,10 @@ from repro.core import (
     fast_matching_2eps,
     fast_matching_weighted_2eps,
     general_proposal_matching,
+    greedy_mis,
     improved_nearly_maximal_is,
     local_matching_1eps,
+    nearly_maximal_hypergraph_matching,
     matching_local_ratio,
     maxis_local_ratio_coloring,
     maxis_local_ratio_layers,
@@ -151,6 +153,21 @@ def _legacy_mis_nearly_maximal(g):
             result.rounds, None)
 
 
+def _legacy_greedy_maxis(g):
+    result = greedy_mis(g)
+    return (result.independent_set, result.weight, result.rounds,
+            result.ledger)
+
+
+def _legacy_hypergraph(g):
+    hyperedges = [frozenset(edge) for edge in sorted(
+        (tuple(sorted(e, key=repr)) for e in g.edges), key=repr)]
+    result = nearly_maximal_hypergraph_matching(
+        hyperedges, rank=2, seed=SEED)
+    matching = frozenset(hyperedges[i] for i in result.matched_edges)
+    return matching, len(matching), result.iterations, None
+
+
 LEGACY = {
     "maxis-layers": _legacy_maxis_layers,
     "maxis-coloring": _legacy_maxis_coloring,
@@ -167,7 +184,9 @@ LEGACY = {
     "matching-israeli-itai": _legacy_israeli_itai,
     "matching-greedy": _legacy_greedy,
     "matching-nearly-maximal": _legacy_nearly_maximal_matching,
+    "matching-hypergraph": _legacy_hypergraph,
     "mis-nearly-maximal": _legacy_mis_nearly_maximal,
+    "maxis-greedy": _legacy_greedy_maxis,
 }
 
 

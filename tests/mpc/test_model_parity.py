@@ -1,0 +1,88 @@
+"""The ``mpc`` execution model through the facade: exact parity with
+the default-model ``solve()``, sparsification on dense rounds, and the
+registry surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import MPC, Instance, registry_as_json, solve
+from repro.graphs import assign_node_weights, complete_graph, gnp_graph
+
+MPC_ALGORITHMS = ("matching-proposal", "maxis-greedy")
+
+
+def _weighted_gnp(n, p, seed):
+    graph = gnp_graph(n, p, seed=seed)
+    assign_node_weights(graph, max_weight=8, seed=seed + 1)
+    return graph
+
+
+class TestObjectiveParity:
+    @pytest.mark.parametrize("algorithm", MPC_ALGORITHMS)
+    def test_mpc_solve_matches_default_model(self, algorithm):
+        graph = _weighted_gnp(40, 0.15, seed=2)
+        base = solve(Instance(graph, seed=3, eps=0.5), algorithm)
+        mpc = solve(
+            Instance(graph, seed=3, eps=0.5, model="mpc", machines=7),
+            algorithm,
+        )
+        assert mpc.objective == base.objective
+        assert mpc.solution == base.solution
+        summary = mpc.extras["mpc"]
+        assert summary["machines"] == 7
+        assert summary["sublinear_ok"]
+        assert summary["max_load"] <= summary["capacity"]
+
+    def test_proposal_rounds_match_object_simulator(self):
+        graph = _weighted_gnp(40, 0.12, seed=5)
+        base = solve(Instance(graph, seed=1, eps=0.5),
+                     "matching-proposal")
+        mpc = solve(Instance(graph, seed=1, eps=0.5, model="mpc"),
+                    "matching-proposal")
+        assert mpc.rounds == base.rounds
+
+    def test_sparsify_off_still_passes_on_sparse_graphs(self):
+        graph = _weighted_gnp(36, 0.1, seed=4)
+        mpc = solve(Instance(graph, seed=2, model="mpc"),
+                    "maxis-greedy", sparsify=False)
+        base = solve(Instance(graph, seed=2), "maxis-greedy")
+        assert mpc.objective == base.objective
+        assert mpc.extras["mpc"]["sparsify"] is None
+
+
+class TestAdaptiveSparsification:
+    def test_dense_graph_passes_only_via_sparsification(self):
+        """On a complete graph the greedy exclusion broadcast is ~n^2
+        messages; the run must engage the dropper, record that the raw
+        round would have violated, and still produce the exact central
+        greedy answer."""
+
+        graph = complete_graph(40)
+        base = solve(Instance(graph, seed=0), "maxis-greedy")
+        mpc = solve(Instance(graph, seed=0, model="mpc"), "maxis-greedy")
+        assert mpc.objective == base.objective
+        assert mpc.solution == base.solution
+        summary = mpc.extras["mpc"]
+        assert summary["sublinear_ok"]
+        stats = summary["sparsify"]
+        assert stats["triggers"] >= 1
+        assert stats["would_violate_without"]
+        assert stats["dropped_messages"] > 0
+        assert summary["dropped_messages"] == stats["dropped_messages"]
+
+
+class TestRegistrySurface:
+    def test_info_lists_mpc_model_for_ported_entries(self):
+        inventory = {
+            entry["name"]: entry for entry in registry_as_json()
+        }
+        for name in MPC_ALGORITHMS:
+            assert MPC in inventory[name]["models"]
+        # Non-ported entries keep their historical model list.
+        assert MPC not in inventory["maxis-layers"]["models"]
+
+    def test_instance_validates_topology(self):
+        graph = gnp_graph(10, 0.2, seed=0)
+        with pytest.raises(Exception):
+            Instance(graph, model="mpc", machines=0)

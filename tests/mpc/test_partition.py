@@ -1,0 +1,86 @@
+"""Topology defaults, node partitioning, and machine construction."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graphs import gnp_graph
+from repro.mpc import (
+    MPCNetwork,
+    build_machines,
+    default_topology,
+    partition_nodes,
+)
+
+
+class TestDefaultTopology:
+    def test_defaults_to_sqrt_n_memory(self):
+        machines, delta = default_topology(100, None, None)
+        assert delta == 0.5
+        assert machines == math.ceil(100 ** 0.5)
+
+    def test_machines_derived_from_delta(self):
+        machines, delta = default_topology(256, None, 0.75)
+        assert delta == 0.75
+        assert machines == math.ceil(256 ** 0.25)
+
+    def test_explicit_values_pass_through(self):
+        assert default_topology(100, 7, 0.6) == (7, 0.6)
+
+
+class TestPartitionNodes:
+    def test_deterministic_and_balanced(self):
+        nodes = list(range(40))
+        assignment = partition_nodes(nodes, 8)
+        again = partition_nodes(reversed(nodes), 8)
+        assert assignment == again
+        sizes = [sum(1 for m in assignment.values() if m == i)
+                 for i in range(8)]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == 40
+
+    def test_every_machine_index_in_range(self):
+        assignment = partition_nodes(range(11), 3)
+        assert set(assignment.values()) <= {0, 1, 2}
+
+
+class TestBuildMachines:
+    def test_adjacency_covers_every_edge_endpoint(self):
+        graph = gnp_graph(30, 0.2, seed=4)
+        assignment = partition_nodes(graph.nodes, 5)
+        fleet = build_machines(graph, assignment, 5)
+        assert [m.index for m in fleet] == list(range(5))
+        hosted = {v for m in fleet for v in m.nodes}
+        assert hosted == set(graph.nodes)
+        for machine in fleet:
+            for v in machine.nodes:
+                assert set(machine.adjacency[v]) == set(graph.neighbors(v))
+
+    def test_base_memory_counts_nodes_and_adjacency(self):
+        graph = gnp_graph(20, 0.3, seed=1)
+        network = MPCNetwork(graph, machines=4)
+        total_adj = sum(
+            len(machine.adjacency[v])
+            for machine in network.fleet for v in machine.nodes
+        )
+        assert total_adj == 2 * graph.number_of_edges()
+        for machine in network.fleet:
+            assert machine.base_memory_words() == len(machine.nodes) + sum(
+                len(machine.adjacency[v]) for v in machine.nodes
+            )
+
+
+class TestTopologyValidation:
+    def test_capacity_formula(self):
+        graph = gnp_graph(64, 0.1, seed=0)
+        network = MPCNetwork(graph, delta=0.5, capacity_factor=8.0)
+        assert network.capacity == math.ceil(8.0 * 64 ** 0.5)
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_tiny_graphs_get_sane_topology(self, n):
+        graph = gnp_graph(n, 0.5, seed=0)
+        network = MPCNetwork(graph)
+        assert network.machines >= 1
+        assert network.capacity >= 1

@@ -178,7 +178,7 @@ class TestJournalFaults:
         mgr = JobManager(workers=1, state_dir=str(tmp_path))
         counts = mgr.recover()
         assert counts == {"restored": 0, "requeued": 0,
-                          "skipped": 2, "swept_tmp": 1}
+                          "skipped": 2, "swept_tmp": 1, "pruned": 0}
         assert mgr.stats()["recovery"] == counts
 
     def test_remove_tolerates_missing_but_reports_real_errors(

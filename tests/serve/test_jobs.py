@@ -151,6 +151,54 @@ class TestJournal:
         assert [job_id for job_id, _ in replayed] == ["job-000007-abc"]
 
 
+class TestJournalCompaction:
+    def _seed_journal(self, tmp_path, terminal=5, queued=1):
+        journal = Journal(str(tmp_path))
+        spec = dict(MAXIS_SPEC, max_rounds=None, time_budget_s=None,
+                    options={})
+        for seq in range(1, terminal + 1):
+            journal.write(job_record(
+                f"job-{seq:06d}-abc", spec, "complete", rounds=3))
+        for seq in range(terminal + 1, terminal + queued + 1):
+            journal.write(job_record(
+                f"job-{seq:06d}-abc", spec, "queued"))
+
+    def test_recover_prunes_oldest_terminal_files(self, tmp_path):
+        self._seed_journal(tmp_path, terminal=5, queued=1)
+        mgr = JobManager(workers=1, state_dir=str(tmp_path),
+                         journal_retain=2)
+        counts = mgr.recover()
+        assert counts["pruned"] == 3
+        assert counts["restored"] == 5
+        assert counts["requeued"] == 1
+        remaining = sorted(p.name for p in tmp_path.glob("*.json"))
+        # Oldest terminal journals are compacted away; the newest two
+        # and the still-queued job's record survive.
+        assert remaining == ["job-000004-abc.json", "job-000005-abc.json",
+                             "job-000006-abc.json"]
+        # Compaction only touches files: every job stays in memory.
+        assert len(mgr.jobs()) == 6
+        assert mgr.stats()["recovery"]["pruned"] == 3
+
+    def test_unbounded_by_default(self, tmp_path):
+        self._seed_journal(tmp_path, terminal=4, queued=0)
+        mgr = JobManager(workers=1, state_dir=str(tmp_path))
+        assert mgr.recover()["pruned"] == 0
+        assert len(list(tmp_path.glob("*.json"))) == 4
+
+    def test_negative_retain_rejected(self):
+        with pytest.raises(ValueError):
+            JobManager(journal_retain=-1)
+
+    def test_config_passes_retain_through(self, tmp_path):
+        config = ServerConfig(state_dir=str(tmp_path), journal_retain=0)
+        self._seed_journal(tmp_path, terminal=2, queued=0)
+        mgr = build_manager(config)
+        assert mgr.journal_retain == 0
+        assert mgr.recover()["pruned"] == 2
+        assert list(tmp_path.glob("*.json")) == []
+
+
 class TestRecovery:
     def _mid_run_payload(self, max_rounds=1000):
         """A genuine mid-run resume payload, captured like the service
@@ -192,7 +240,7 @@ class TestRecovery:
         mgr = JobManager(workers=1, state_dir=str(tmp_path))
         counts = mgr.recover()
         assert counts == {"restored": 0, "requeued": 1,
-                          "skipped": 0, "swept_tmp": 0}
+                          "skipped": 0, "swept_tmp": 0, "pruned": 0}
         mgr.start()
         try:
             job = _wait(mgr.get("job-000003-feed"))
@@ -243,7 +291,7 @@ class TestRecovery:
         fresh = JobManager(workers=1, state_dir=str(tmp_path))
         counts = fresh.recover()
         assert counts == {"restored": 1, "requeued": 0,
-                          "skipped": 0, "swept_tmp": 0}
+                          "skipped": 0, "swept_tmp": 0, "pruned": 0}
         restored = fresh.get(job.id)
         assert restored.status == "complete"
         assert restored.recovered
