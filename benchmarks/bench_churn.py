@@ -1,0 +1,21 @@
+"""Experiment CHURN — incremental warm-started re-solve under churn.
+
+The ``churn`` experiment in :mod:`repro.experiments.catalog` streams
+deterministic mutation batches over a base graph and re-solves every
+version warm-started from the previous run's resume state
+(``resume(..., allow=MutationCompat(batch))``), comparing the repair
+cost — the cumulative-round delta — against solving each version from
+scratch.  Checks gate that every incremental solution is certified
+feasible on its own mutated graph, that objectives match scratch
+within the algorithm's guarantee, that small batches beat scratch by
+≥ 1.2× in rounds, and that the object and array backends agree
+counter for counter.  Every measure is a round counter or flag —
+never wall-clock — so the artifact is byte-deterministic at the fixed
+seed and CI ``cmp``-gates the committed ``BENCH_churn.json``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.bench import experiment_bench
+
+test_churn = experiment_bench("churn")

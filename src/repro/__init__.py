@@ -14,6 +14,9 @@ Subpackages
 ``repro.api``       — the unified solver facade: ``Instance`` +
                       ``solve()`` + ``SolveReport`` over the algorithm
                       registry (the preferred entry point).
+``repro.dynamic``   — dynamic graphs under churn: typed mutation
+                      batches, the compatible-mutation resume policy
+                      and the incremental re-solve driver.
 ``repro.experiments`` — experiment registry, deterministic runner and
                       versioned ``BENCH_*.json`` artifacts (imported
                       lazily; see ``python -m repro bench --list``).
@@ -30,10 +33,12 @@ Quickstart::
 
 from . import analysis, congest, core, graphs, matching, mis
 from . import api
+from . import dynamic
 from .errors import (
     AlgorithmContractViolation,
     BandwidthViolation,
     InvalidInstance,
+    InvalidMutation,
     ReproError,
     RoundLimitExceeded,
     SimulationError,
@@ -45,6 +50,7 @@ __all__ = [
     "AlgorithmContractViolation",
     "BandwidthViolation",
     "InvalidInstance",
+    "InvalidMutation",
     "ReproError",
     "RoundLimitExceeded",
     "SimulationError",
@@ -52,6 +58,7 @@ __all__ = [
     "api",
     "congest",
     "core",
+    "dynamic",
     "graphs",
     "matching",
     "mis",

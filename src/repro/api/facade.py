@@ -336,6 +336,7 @@ def resume_iter(
     instance: Optional[Union[Instance, nx.Graph]] = None,
     algorithm: Optional[str] = None,
     problem: Optional[str] = None,
+    allow=None,
     **options,
 ) -> Iterator[Checkpoint]:
     """Checkpoint-stream form of :func:`resume` (same validation)."""
@@ -361,19 +362,31 @@ def resume_iter(
     if instance.model != model:
         instance = replace(instance, model=model)
     fingerprint = _resume_fingerprint(instance)
+    reconciled = None
     if payload["fingerprint"] != fingerprint:
-        raise ResumeMismatch(
-            "instance fingerprint mismatch: the checkpoint was captured "
-            "on a different instance (graph structure/weights, model, "
-            "ε, seed or bandwidth differ)"
-        )
+        if allow is None:
+            raise ResumeMismatch(
+                "instance fingerprint mismatch: the checkpoint was "
+                "captured on a different instance (graph structure/"
+                "weights, model, ε, seed or bandwidth differ); for a "
+                "declared graph mutation pass "
+                "allow=repro.dynamic.MutationCompat(batch)"
+            )
+        # Compatible-mutation relaxation: the policy validates the
+        # declared delta against the payload's fingerprint and returns
+        # state spliced to re-runnable form on the mutated instance
+        # (raising ResumeMismatch itself when the delta does not check
+        # out).  With matching fingerprints the policy is never
+        # consulted — an empty batch is bit-identical to plain resume.
+        reconciled = allow.reconcile(payload, instance, spec.name)
     if (instance.max_rounds is not None
             and instance.max_rounds < payload["rounds"]):
         raise NotResumable(
             f"round budget {instance.max_rounds} is below the "
             f"checkpoint's already-consumed {payload['rounds']} rounds"
         )
-    state = from_jsonable(payload["state"])
+    state = (reconciled if reconciled is not None
+             else from_jsonable(payload["state"]))
     if isinstance(state, dict) and state.get("fresh"):
         # The begin state (coarse adapters, and any stream's first
         # checkpoint): nothing was executed yet, so a warm start is a
@@ -393,6 +406,7 @@ def resume(
     instance: Optional[Union[Instance, nx.Graph]] = None,
     algorithm: Optional[str] = None,
     problem: Optional[str] = None,
+    allow=None,
     **options,
 ) -> SolveReport:
     """Continue a truncated run from its last checkpoint (warm start).
@@ -426,11 +440,21 @@ def resume(
     keyword cannot silently splice two different parameterizations.
     Resuming a complete report raises
     :class:`~repro.errors.NotResumable`.
+
+    ``allow`` relaxes the strict fingerprint check for *declared* graph
+    mutations: pass ``repro.dynamic.MutationCompat(batch)`` to resume a
+    checkpoint onto an instance that differs from the captured one by
+    exactly that mutation batch.  The policy verifies the delta (the
+    checkpoint's fingerprint must match the instance minus the batch,
+    and re-applying the batch must reproduce the instance), invalidates
+    only the mutation's influence region, and splices the captured
+    simulator state back to re-runnable form; anything else still
+    raises :class:`~repro.errors.ResumeMismatch`.
     """
 
     return drain(resume_iter(source, instance=instance,
                              algorithm=algorithm, problem=problem,
-                             **options))
+                             allow=allow, **options))
 
 
 __all__ = ["RESUME_VERSION", "resume", "resume_iter", "solve",

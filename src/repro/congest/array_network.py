@@ -540,6 +540,11 @@ class ArrayKernel:
         return [version, list(internals), gauss]
 
     def restore_rng(self, i: int, state) -> None:
+        if state is None:
+            # Fresh entry spliced in by the dynamic-graph compat
+            # policy: keep the lazily-derived stable stream, matching
+            # the object backend's fresh-node behavior bit for bit.
+            return
         version, internals, gauss = state
         self.rng(i).setstate((version, tuple(internals), gauss))
 

@@ -368,8 +368,13 @@ class SynchronousNetwork:
                     raise SimulationError(
                         f"resume state knows nothing about node {ctx.node!r}"
                     )
-                version, internals, gauss = state["rng"]
-                ctx.rng.setstate((version, tuple(internals), gauss))
+                if state["rng"] is not None:
+                    version, internals, gauss = state["rng"]
+                    ctx.rng.setstate((version, tuple(internals), gauss))
+                # A ``None`` RNG marks a *fresh* entry (spliced in by the
+                # dynamic-graph compat policy): the node keeps the
+                # stable per-node stream it was built with, exactly as
+                # on a fresh run, so both backends derive identically.
                 program.restore_state(state["program"])
                 if state["sleeping"]:
                     ctx._sleeping = True

@@ -1,0 +1,78 @@
+"""``repro.dynamic`` — dynamic graphs: incremental re-solve under churn.
+
+A deployed matching/MaxIS service does not get a fresh graph per
+request: edges churn.  This package makes the anytime/resume protocol
+churn-aware:
+
+* :class:`Mutation` / :class:`MutationBatch` — typed graph edits
+  (edge insert/delete, weight change, node add), validated and
+  normalized where they are applied (:func:`apply_batch`);
+* :class:`DynamicInstance` — a base :class:`~repro.api.Instance` plus
+  an ordered stream of mutation batches (graph versions);
+* :class:`MutationCompat` — the resume policy that relaxes the strict
+  fingerprint check for a *declared, verified* batch: it invalidates
+  only the mutation's influence region and splices the captured
+  simulator state back to re-runnable form
+  (``resume(payload, instance=mutated, allow=MutationCompat(batch))``);
+* :func:`resolve_incremental` — the driver: re-solve every version
+  warm-started from the previous one, paying rounds only for the
+  repaired region (the ``churn`` experiment benchmarks this against
+  from-scratch solves).
+
+Quickstart::
+
+    from repro.api import Instance
+    from repro.dynamic import (DynamicInstance, remove_edge, add_edge,
+                               resolve_incremental)
+
+    dyn = DynamicInstance(Instance(g, seed=3), batches=[
+        [remove_edge(0, 1)], [add_edge(2, 7)],
+    ])
+    result = resolve_incremental(dyn, "maxis-layers")
+    print(result.final.objective, result.total_repair_rounds)
+"""
+
+from .compat import COMPATIBLE_OPS, MutationCompat
+from .driver import DynamicSolveReport, DynamicStep, resolve_incremental
+from .instance import DynamicInstance
+from .mutations import (
+    Mutation,
+    MutationBatch,
+    add_edge,
+    add_node,
+    apply_batch,
+    as_batch,
+    graphs_equal,
+    influence_region,
+    invert_batch,
+    remove_edge,
+    remove_node,
+    set_edge_weight,
+    set_node_weight,
+)
+from .splice import SPLICERS, get_splicer, register_splicer
+
+__all__ = [
+    "COMPATIBLE_OPS",
+    "DynamicInstance",
+    "DynamicSolveReport",
+    "DynamicStep",
+    "Mutation",
+    "MutationBatch",
+    "MutationCompat",
+    "SPLICERS",
+    "add_edge",
+    "add_node",
+    "apply_batch",
+    "as_batch",
+    "get_splicer",
+    "graphs_equal",
+    "influence_region",
+    "invert_batch",
+    "register_splicer",
+    "remove_edge",
+    "remove_node",
+    "resolve_incremental",
+    "set_edge_weight",
+    "set_node_weight",
+]

@@ -1,0 +1,67 @@
+"""``DynamicInstance`` — a base :class:`~repro.api.Instance` plus an
+ordered stream of :class:`~repro.dynamic.mutations.MutationBatch`es.
+
+Version ``0`` is the base graph; version ``t`` is the base with the
+first ``t`` batches applied.  All batches are validated and normalized
+(priors recorded) eagerly at construction, so a mutation referencing a
+node absent from the graph it lands on fails here with a typed
+:class:`~repro.errors.InvalidMutation`, not later inside a solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+import networkx as nx
+
+from ..api.instance import Instance
+from ..errors import InvalidMutation
+from .mutations import MutationBatch, apply_batch, as_batch
+
+
+@dataclass(frozen=True)
+class DynamicInstance:
+    """A churn workload: base instance + mutation-batch stream."""
+
+    base: Instance
+    batches: Tuple[MutationBatch, ...] = ()
+    #: Graph snapshots, one per version (filled at construction).
+    _graphs: tuple = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self):
+        base = self.base
+        if isinstance(base, nx.Graph):
+            base = Instance(base)
+        if not isinstance(base, Instance):
+            raise InvalidMutation(
+                f"DynamicInstance wraps an Instance, got "
+                f"{type(self.base).__name__}"
+            )
+        object.__setattr__(self, "base", base)
+        graphs = [base.graph]
+        normalized = []
+        for raw in self.batches:
+            mutated, batch = apply_batch(graphs[-1], as_batch(raw),
+                                         record=True)
+            graphs.append(mutated)
+            normalized.append(batch)
+        object.__setattr__(self, "batches", tuple(normalized))
+        object.__setattr__(self, "_graphs", tuple(graphs))
+
+    def __len__(self) -> int:
+        return len(self.batches)
+
+    def graph(self, t: int) -> nx.Graph:
+        """The graph after the first ``t`` batches (``t=0`` → base)."""
+
+        return self._graphs[t]
+
+    def version(self, t: int, **overrides) -> Instance:
+        """The :class:`~repro.api.Instance` for version ``t``; keyword
+        overrides (e.g. ``max_rounds=``) are applied on top."""
+
+        return replace(self.base, graph=self._graphs[t], **overrides)
+
+
+__all__ = ["DynamicInstance"]

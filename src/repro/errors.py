@@ -88,6 +88,16 @@ class InvalidInstance(ReproError):
     """An input graph/weighting does not satisfy a precondition."""
 
 
+class InvalidMutation(InvalidInstance):
+    """A graph mutation cannot be applied to the graph it targets.
+
+    Raised where mutations are *applied* — referencing a node absent
+    from the base graph, deleting an edge that does not exist,
+    inserting one that already does — instead of letting a bare
+    ``KeyError`` surface later from partition/CSR code.
+    """
+
+
 class ResumeError(ReproError):
     """A checkpointed run could not be resumed."""
 

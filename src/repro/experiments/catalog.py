@@ -2066,3 +2066,127 @@ MPC_SCALING = register_experiment(ExperimentSpec(
         ),
     ),
 ))
+
+
+# ----------------------------------------------------------------------
+# churn — dynamic graphs: incremental re-solve vs from-scratch
+# ----------------------------------------------------------------------
+def _churn_sound(rows):
+    """Every incremental solution is certified feasible on its mutated
+    graph and matches the from-scratch objective within the
+    algorithm's guarantee — and never costs more rounds than scratch."""
+
+    for row in rows:
+        _assert(row["feasible"],
+                f"incremental step not certified at bs={row['batch_size']}")
+        _assert(row["parity_ok"],
+                f"objective parity broken at bs={row['batch_size']}")
+        _assert(row["speedup_rounds"] >= 1.0,
+                f"incremental costlier than scratch at "
+                f"bs={row['batch_size']}: {row['speedup_rounds']}x")
+
+
+def _churn_small_batches_win(rows):
+    """Small mutation batches must beat from-scratch clearly, and the
+    advantage must shrink as batches grow (locality of repair)."""
+
+    small = [r["speedup_rounds"] for r in rows if r["batch_size"] <= 2]
+    _assert(small and min(small) >= 1.2,
+            f"small-batch speedups {small} below the 1.2x gate")
+    _assert(rows[0]["speedup_rounds"] >= rows[-1]["speedup_rounds"],
+            "repair advantage should shrink as the batch grows")
+
+
+def _churn_backend_parity(rows):
+    """Object and array backends must agree on every counter."""
+
+    keys = ("repair_rounds", "scratch_rounds", "final_objective",
+            "speedup_rounds", "region_nodes")
+    _assert(len(rows) == 2, "expected one object + one array row")
+    for key in keys:
+        _assert(rows[0][key] == rows[1][key],
+                f"backend mismatch on {key}: "
+                f"{rows[0][key]} != {rows[1][key]}")
+
+
+CHURN = register_experiment(ExperimentSpec(
+    name="churn",
+    title="Dynamic graphs: incremental warm-started re-solve under churn",
+    description=(
+        "Streams deterministic mutation batches (edge insert/delete, "
+        "node-weight bumps) over a base graph and re-solves every "
+        "version warm-started from the previous run's resume state "
+        "via resume(..., allow=MutationCompat(batch)), repairing only "
+        "the mutation's influence region.  Rows compare the repair "
+        "cost (cumulative-round delta) against solving each version "
+        "from scratch, and gate that every incremental solution is "
+        "certified feasible on its mutated graph with objectives "
+        "matching scratch within the algorithm's guarantee.  All "
+        "measures are round counters and flags — never wall-clock — "
+        "so BENCH_churn.json is byte-deterministic and CI cmp-gates "
+        "the committed artifact."
+    ),
+    tags=("dynamic", "churn", "resume"),
+    sections=(
+        Section(
+            name="maxis_repair",
+            title="churn-a: Algorithm 2 repair cost vs batch size "
+                  "(G(80, 0.06), weights ≤ 64)",
+            measurement="churn",
+            grid=tuple(
+                {"graph": _sparse_gnp(80, 0.06, 3,
+                                      node_w={"max_weight": 64,
+                                              "seed": 2}),
+                 "algorithm": "maxis-layers",
+                 "batches": 3, "batch_size": bs}
+                for bs in (1, 2, 4, 8)
+            ),
+            seeds=(0,),
+            checks=(
+                _rows_check("incremental_sound", _churn_sound),
+                _rows_check("small_batches_win", _churn_small_batches_win),
+            ),
+        ),
+        Section(
+            name="matching_repair",
+            title="churn-b: proposal matcher repair cost vs batch size "
+                  "(G(120, 0.04))",
+            measurement="churn",
+            grid=tuple(
+                {"graph": _sparse_gnp(120, 0.04, 5),
+                 "algorithm": "matching-proposal", "eps": 0.5,
+                 "batches": 3, "batch_size": bs}
+                for bs in (1, 4)
+            ),
+            seeds=(0,),
+            checks=(
+                _rows_check("incremental_sound", _churn_sound),
+                _rows_check(
+                    "small_batch_beats_scratch",
+                    lambda rows: _assert(
+                        rows[0]["speedup_rounds"] >= 1.2,
+                        f"bs=1 speedup {rows[0]['speedup_rounds']}x "
+                        "below the 1.2x gate"),
+                ),
+            ),
+        ),
+        Section(
+            name="backend",
+            title="churn-c: object vs array backend — identical "
+                  "incremental repair, counter for counter",
+            measurement="churn",
+            grid=tuple(
+                {"graph": _sparse_gnp(80, 0.06, 3,
+                                      node_w={"max_weight": 64,
+                                              "seed": 2}),
+                 "algorithm": "maxis-layers",
+                 "batches": 3, "batch_size": 2, "backend": backend}
+                for backend in (None, "array")
+            ),
+            seeds=(0,),
+            checks=(
+                _rows_check("backend_parity", _churn_backend_parity),
+            ),
+        ),
+    ),
+))

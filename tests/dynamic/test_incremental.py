@@ -1,0 +1,132 @@
+"""``resolve_incremental``: warm-started re-solve over a churn stream.
+
+Every per-version report must be a certified feasible solution of
+*that* version's graph, repair cost must be the cumulative-round
+delta, the whole run must be deterministic, and the object and array
+backends must agree bit for bit.
+"""
+
+import pytest
+
+from repro.api import COMPLETE, Instance, solve
+from repro.dynamic import (
+    DynamicInstance,
+    add_edge,
+    remove_edge,
+    resolve_incremental,
+    set_node_weight,
+)
+from repro.graphs import assign_node_weights, gnp_graph
+
+
+def maxis_dynamic(seed=3, backend=None):
+    g = assign_node_weights(gnp_graph(50, 0.1, seed=1), 8, seed=2)
+    edges = sorted(g.edges, key=repr)
+    absent = next((u, v) for u in g for v in g
+                  if u != v and not g.has_edge(u, v))
+    return DynamicInstance(
+        Instance(g, seed=seed, backend=backend),
+        batches=[
+            [remove_edge(*edges[0]), set_node_weight(7, 11)],
+            [add_edge(*absent)],
+            [remove_edge(*edges[9])],
+        ],
+    )
+
+
+def matching_dynamic(seed=3):
+    g = gnp_graph(60, 0.08, seed=1)
+    edges = sorted(g.edges, key=repr)
+    return DynamicInstance(
+        Instance(g, seed=seed),
+        batches=[[remove_edge(*edges[0])], [remove_edge(*edges[11])]],
+    )
+
+
+class TestMaxISIncremental:
+    def test_every_version_is_certified_on_its_own_graph(self):
+        dyn = maxis_dynamic()
+        result = resolve_incremental(dyn, "maxis-layers")
+        assert len(result.steps) == len(dyn) + 1
+        for step in result.steps:
+            assert step.report.status == COMPLETE
+            assert step.report.instance.graph is dyn.graph(step.version)
+            step.report.certify()
+
+    def test_repair_rounds_are_cumulative_deltas(self):
+        result = resolve_incremental(maxis_dynamic(), "maxis-layers")
+        rounds = [step.report.rounds for step in result.steps]
+        assert rounds == sorted(rounds)
+        for prev, step in zip(result.steps, result.steps[1:]):
+            assert step.repair_rounds == \
+                step.report.rounds - prev.report.rounds
+        assert result.total_repair_rounds == rounds[-1] - rounds[0]
+
+    def test_repair_is_cheaper_than_scratch(self):
+        dyn = maxis_dynamic()
+        result = resolve_incremental(dyn, "maxis-layers")
+        scratch_rounds = sum(
+            solve(dyn.version(t), "maxis-layers").rounds
+            for t in range(1, len(dyn) + 1)
+        )
+        assert result.total_repair_rounds < scratch_rounds
+
+    def test_deterministic(self):
+        a = resolve_incremental(maxis_dynamic(), "maxis-layers")
+        b = resolve_incremental(maxis_dynamic(), "maxis-layers")
+        for sa, sb in zip(a.steps, b.steps):
+            assert sa.report.solution == sb.report.solution
+            assert sa.report.rounds == sb.report.rounds
+            assert sa.report.metrics.bits == sb.report.metrics.bits
+
+    def test_array_backend_matches_object_backend(self):
+        obj = resolve_incremental(maxis_dynamic(), "maxis-layers")
+        arr = resolve_incremental(maxis_dynamic(backend="array"),
+                                  "maxis-layers")
+        for so, sa in zip(obj.steps, arr.steps):
+            assert so.report.solution == sa.report.solution
+            assert so.report.objective == sa.report.objective
+            assert so.report.rounds == sa.report.rounds
+
+    def test_region_is_reported_for_mutated_versions(self):
+        result = resolve_incremental(maxis_dynamic(), "maxis-layers")
+        assert result.steps[0].region == frozenset()
+        assert all(step.region for step in result.steps[1:])
+
+
+class TestMatchingIncremental:
+    def test_certified_and_complete_at_every_version(self):
+        dyn = matching_dynamic()
+        result = resolve_incremental(dyn, "matching-proposal")
+        for step in result.steps:
+            assert step.report.status == COMPLETE
+            step.report.certify()
+
+    def test_objective_parity_within_guarantee(self):
+        dyn = matching_dynamic()
+        result = resolve_incremental(dyn, "matching-proposal")
+        for t in range(1, len(dyn) + 1):
+            scratch = solve(dyn.version(t), "matching-proposal")
+            incremental = result.steps[t].report
+            bound = scratch.bound
+            assert incremental.objective * bound >= scratch.objective
+            assert scratch.objective * bound >= incremental.objective
+
+    def test_deterministic(self):
+        a = resolve_incremental(matching_dynamic(), "matching-proposal")
+        b = resolve_incremental(matching_dynamic(), "matching-proposal")
+        for sa, sb in zip(a.steps, b.steps):
+            assert sa.report.solution == sb.report.solution
+            assert sa.report.rounds == sb.report.rounds
+
+
+def test_unsupported_algorithm_fails_with_typed_error():
+    from repro.errors import ResumeError
+
+    g = gnp_graph(30, 0.15, seed=1)
+    dyn = DynamicInstance(
+        Instance(g, seed=3),
+        batches=[[remove_edge(*sorted(g.edges, key=repr)[0])]],
+    )
+    with pytest.raises(ResumeError):
+        resolve_incremental(dyn, "matching-israeli-itai")

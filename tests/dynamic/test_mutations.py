@@ -1,0 +1,146 @@
+"""Mutation vocabulary: typed validation, normalization, inversion."""
+
+import networkx as nx
+import pytest
+
+from repro.api import Instance
+from repro.dynamic import (
+    DynamicInstance,
+    Mutation,
+    MutationBatch,
+    add_edge,
+    add_node,
+    apply_batch,
+    graphs_equal,
+    influence_region,
+    invert_batch,
+    remove_edge,
+    remove_node,
+    set_edge_weight,
+    set_node_weight,
+)
+from repro.errors import InvalidInstance, InvalidMutation
+from repro.graphs import assign_node_weights, gnp_graph
+
+
+def small_graph():
+    g = nx.Graph()
+    g.add_nodes_from(range(5))
+    g.add_edges_from([(0, 1), (1, 2), (2, 3), (3, 4)])
+    nx.set_node_attributes(g, {v: v + 1 for v in g}, "weight")
+    return g
+
+
+class TestApplyBatch:
+    def test_apply_does_not_mutate_the_input(self):
+        g = small_graph()
+        before_edges = set(g.edges)
+        out = apply_batch(g, [remove_edge(0, 1), add_edge(0, 2)])
+        assert set(g.edges) == before_edges
+        assert not out.has_edge(0, 1) and out.has_edge(0, 2)
+
+    def test_weight_changes(self):
+        g = small_graph()
+        out = apply_batch(g, [set_node_weight(3, 99),
+                              set_edge_weight(0, 1, 7)])
+        assert out.nodes[3]["weight"] == 99
+        assert out.edges[0, 1]["weight"] == 7
+
+    def test_node_add_remove(self):
+        g = small_graph()
+        out = apply_batch(g, [add_node(9, weight=4), add_edge(9, 0),
+                              remove_node(4)])
+        assert out.has_edge(9, 0) and out.nodes[9]["weight"] == 4
+        assert 4 not in out
+
+    def test_unknown_node_raises_typed_error(self):
+        g = small_graph()
+        with pytest.raises(InvalidMutation, match="absent from the base"):
+            apply_batch(g, [add_edge(0, 77)])
+        with pytest.raises(InvalidMutation, match="absent from the base"):
+            apply_batch(g, [set_node_weight(77, 3)])
+
+    def test_typed_error_is_an_invalid_instance(self):
+        g = small_graph()
+        with pytest.raises(InvalidInstance):
+            apply_batch(g, [remove_edge(0, 3)])  # edge does not exist
+
+    def test_duplicate_edge_and_self_loop_rejected(self):
+        g = small_graph()
+        with pytest.raises(InvalidMutation, match="re-inserts"):
+            apply_batch(g, [add_edge(0, 1)])
+        with pytest.raises(InvalidMutation, match="self-loop"):
+            apply_batch(g, [add_edge(2, 2)])
+
+    def test_malformed_mutations_rejected_at_construction(self):
+        with pytest.raises(InvalidMutation):
+            Mutation("frobnicate", 0, 1)
+        with pytest.raises(InvalidMutation):
+            Mutation("add_edge", 0)  # missing endpoint
+        with pytest.raises(InvalidMutation):
+            Mutation("set_node_weight", 0)  # missing weight
+
+
+class TestNormalizeInvert:
+    def test_normalized_batch_round_trips(self):
+        g = assign_node_weights(gnp_graph(30, 0.15, seed=1), 8, seed=2)
+        edges = sorted(g.edges, key=repr)
+        mutated, batch = apply_batch(
+            g,
+            [remove_edge(*edges[0]), set_node_weight(3, 50),
+             set_edge_weight(*edges[5], 9)],
+            record=True,
+        )
+        assert all(m.prior is not None for m in batch)
+        assert graphs_equal(invert_batch(mutated, batch), g)
+
+    def test_unnormalized_weight_change_is_not_invertible(self):
+        g = small_graph()
+        mutated = apply_batch(g, [set_node_weight(1, 42)])
+        with pytest.raises(InvalidMutation, match="no prior"):
+            invert_batch(mutated, [set_node_weight(1, 42)])
+
+
+class TestInfluenceRegion:
+    def test_radius_zero_is_touched_nodes(self):
+        g = small_graph()
+        target = apply_batch(g, [remove_edge(1, 2)])
+        assert influence_region(g, target, [remove_edge(1, 2)],
+                                radius=0) == {1, 2}
+
+    def test_radius_one_spans_union_adjacency(self):
+        g = small_graph()
+        target = apply_batch(g, [remove_edge(1, 2)])
+        # Neighbors over before ∪ after edges: 0 (of 1) and 3 (of 2).
+        assert influence_region(g, target, [remove_edge(1, 2)],
+                                radius=1) == {0, 1, 2, 3}
+
+    def test_empty_batch_empty_region(self):
+        g = small_graph()
+        assert influence_region(g, g, MutationBatch()) == set()
+
+
+class TestDynamicInstance:
+    def test_versions_are_independent_snapshots(self):
+        g = small_graph()
+        dyn = DynamicInstance(Instance(g, seed=1), batches=[
+            [remove_edge(0, 1)], [add_edge(0, 1, weight=3)],
+        ])
+        assert len(dyn) == 2
+        assert dyn.graph(0).has_edge(0, 1)
+        assert not dyn.graph(1).has_edge(0, 1)
+        assert dyn.graph(2).edges[0, 1]["weight"] == 3
+        assert dyn.version(1, max_rounds=9).max_rounds == 9
+
+    def test_batches_are_normalized(self):
+        g = small_graph()
+        dyn = DynamicInstance(Instance(g, seed=1),
+                              batches=[[set_node_weight(2, 9)]])
+        (mutation,) = tuple(dyn.batches[0])
+        assert mutation.prior == 3  # small_graph weights are v + 1
+
+    def test_invalid_mutation_fails_eagerly(self):
+        g = small_graph()
+        with pytest.raises(InvalidMutation, match="absent from the base"):
+            DynamicInstance(Instance(g, seed=1),
+                            batches=[[remove_edge(0, 99)]])
